@@ -1,0 +1,37 @@
+"""Benchmarks regenerating Figures 2 and 3.
+
+* Figure 2 — the naive sub-unsub-sub roaming anomalies (duplicate /
+  missed deliveries) and their fix by the relocation protocol.
+* Figure 3 — the ~2·t_d blackout of routed re-subscription versus the
+  blackout-free flooding + client-side filtering.
+"""
+
+from repro.experiments import fig2_naive_roaming, fig3_blackout
+
+
+def test_fig2_naive_roaming_anomalies(benchmark):
+    """Figure 2: naive roaming duplicates or misses; relocation is exactly-once."""
+    result = benchmark(fig2_naive_roaming.run)
+    for case in result.cases:
+        benchmark.extra_info["{}/{}".format(case.name, case.mechanism)] = {
+            "delivered": case.delivered,
+            "duplicates": case.duplicates,
+            "missed": case.missed,
+        }
+    assert result.naive_shows_anomalies
+    assert result.protocol_exactly_once
+
+
+def test_fig3_blackout_period(benchmark):
+    """Figure 3: blackout after re-subscribing (simple routing) vs flooding."""
+    result = benchmark(fig3_blackout.run)
+    benchmark.extra_info["t_d"] = result.propagation_delay
+    benchmark.extra_info["routed_blackout"] = result.routed_blackout
+    benchmark.extra_info["flooding_blackout"] = result.flooding_blackout
+    benchmark.extra_info["routed_missed"] = result.routed.missed_count
+    benchmark.extra_info["flooding_missed"] = result.flooding.missed_count
+    assert result.shows_expected_shape
+    # The routed blackout is about 2 t_d; flooding delivers essentially
+    # immediately after the filter change.
+    assert result.routed_blackout >= 2 * result.propagation_delay - result.publish_interval
+    assert result.flooding_blackout <= result.publish_interval * 2

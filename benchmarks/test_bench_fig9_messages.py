@@ -1,0 +1,28 @@
+"""Benchmark regenerating Figure 9 (cumulative total message counts).
+
+The full-horizon (100 s) run is what EXPERIMENTS.md reports; the benchmark
+uses a reduced horizon so that pytest-benchmark can repeat it, and checks
+the qualitative shape the paper shows: flooding ≫ new algorithm, and the
+fast consumer (Δ = 1 s) costs more than the slow one (Δ = 10 s).
+"""
+
+from repro.experiments import fig9_message_counts
+
+
+def test_fig9_message_counts(benchmark):
+    config = fig9_message_counts.Fig9Config(horizon=30.0, sample_interval=10.0)
+    result = benchmark.pedantic(fig9_message_counts.run, args=(config,), iterations=1, rounds=3)
+    for series in result.series:
+        benchmark.extra_info[series.label] = {
+            "total_messages": series.total_messages,
+            "delivered": series.delivered,
+            "samples": series.samples,
+        }
+    assert result.shows_expected_shape
+    flooding = result.series_by_label("flooding").total_messages
+    fast = result.series_by_label("new alg. Delta=1").total_messages
+    slow = result.series_by_label("new alg. Delta=10").total_messages
+    # Shape targets: flooding is at least a few times the new algorithm,
+    # and the fast consumer is measurably more expensive than the slow one.
+    assert flooding > 2 * fast
+    assert fast > 1.2 * slow

@@ -1,0 +1,111 @@
+"""Ablation of the logical-mobility design choices.
+
+Two knobs the paper's Section 5 discussion calls out:
+
+* the uncertainty plan (trivial sub/unsub vs. adaptive vs. flooding end
+  point) — traded between notification traffic and adaptation latency;
+* whether location updates are propagated even when a hop's ploc set is
+  unchanged (the conservative assumption behind Figure 9) or suppressed.
+"""
+
+import pytest
+
+from repro.baselines.endpoints import flooding_endpoint_plan, global_subunsub_plan
+from repro.broker.base import BrokerConfig
+from repro.broker.network import PubSubNetwork
+from repro.core.adaptivity import UncertaintyPlan
+from repro.core.location_filter import MYLOC
+from repro.core.ploc import MovementGraph
+from repro.metrics.counters import MessageCounter
+from repro.mobility.driver import ItineraryDriver
+from repro.mobility.models import random_walk
+from repro.sim.rng import DeterministicRandom
+from repro.topology.builders import line_topology
+from repro.workload.generators import UniformLocationPublisher
+
+LOCATIONS = ["room-{:02d}".format(index) for index in range(10)]
+HOPS = 4
+
+
+def _run_plan(plan, propagate_unchanged=True, horizon=30.0, dwell_time=3.0):
+    graph = MovementGraph.line(LOCATIONS)
+    config = BrokerConfig(propagate_unchanged_location_updates=propagate_unchanged)
+    network = PubSubNetwork(line_topology(HOPS + 1), strategy="covering", latency=0.01, config=config)
+    producer = network.add_client("producer", "B{}".format(HOPS + 1))
+    producer.advertise({"category": "facility"})
+    consumer = network.add_client("consumer", "B1")
+    consumer.subscribe_location_dependent(
+        {"category": "facility", "location": MYLOC},
+        movement_graph=graph,
+        plan=plan,
+        initial_location=LOCATIONS[0],
+    )
+    network.settle()
+    rng = DeterministicRandom(31)
+    walk = random_walk(graph, LOCATIONS[0], int(horizon / dwell_time), dwell_time, rng.fork(1))
+    ItineraryDriver(network, consumer).schedule_logical(walk)
+    UniformLocationPublisher(
+        LOCATIONS, rate=5.0, rng=rng.fork(2), base_attributes={"category": "facility"}
+    ).drive(network, producer, start=0.0, end=horizon)
+    network.run_until(horizon + 1.0)
+    network.settle()
+    breakdown = MessageCounter(network.trace).breakdown()
+    return {
+        "delivered": len(consumer.received),
+        "notifications": breakdown.notifications,
+        "admin": breakdown.admin,
+        "mobility": breakdown.mobility,
+        "total": breakdown.total,
+    }
+
+
+@pytest.mark.parametrize(
+    "label,plan_factory",
+    [
+        ("trivial", lambda graph: global_subunsub_plan(HOPS)),
+        ("adaptive", lambda graph: UncertaintyPlan.adaptive(3.0, [0.01] * HOPS)),
+        ("flooding-endpoint", lambda graph: flooding_endpoint_plan(HOPS, graph)),
+    ],
+)
+def test_uncertainty_plan_ablation(benchmark, label, plan_factory):
+    """Message cost of the three uncertainty-plan configurations."""
+    graph = MovementGraph.line(LOCATIONS)
+    stats = benchmark.pedantic(
+        _run_plan, args=(plan_factory(graph),), iterations=1, rounds=2
+    )
+    benchmark.extra_info.update(stats)
+    assert stats["delivered"] > 0
+
+
+def test_flooding_endpoint_costs_more_notifications(benchmark):
+    """The flooding end point pushes more notifications than the trivial plan."""
+
+    def compare():
+        graph = MovementGraph.line(LOCATIONS)
+        return {
+            "trivial": _run_plan(global_subunsub_plan(HOPS)),
+            "flooding": _run_plan(flooding_endpoint_plan(HOPS, graph)),
+        }
+
+    stats = benchmark.pedantic(compare, iterations=1, rounds=1)
+    benchmark.extra_info.update(
+        {key: value["notifications"] for key, value in stats.items()}
+    )
+    assert stats["flooding"]["notifications"] > stats["trivial"]["notifications"]
+    assert stats["flooding"]["delivered"] == stats["trivial"]["delivered"]
+
+
+def test_unchanged_update_suppression_saves_admin_traffic(benchmark):
+    """Suppressing no-op location updates reduces mobility control traffic."""
+
+    def compare():
+        plan = UncertaintyPlan.adaptive(3.0, [0.01] * HOPS)
+        return {
+            "conservative": _run_plan(plan, propagate_unchanged=True),
+            "suppressed": _run_plan(plan, propagate_unchanged=False),
+        }
+
+    stats = benchmark.pedantic(compare, iterations=1, rounds=1)
+    benchmark.extra_info.update({key: value["mobility"] for key, value in stats.items()})
+    assert stats["suppressed"]["mobility"] <= stats["conservative"]["mobility"]
+    assert stats["suppressed"]["delivered"] == stats["conservative"]["delivered"]

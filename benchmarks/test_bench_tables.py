@@ -1,0 +1,40 @@
+"""Benchmarks regenerating Tables 1-4 of the paper.
+
+Each benchmark runs the corresponding experiment module, records the
+regenerated values in ``extra_info`` (so they appear in the benchmark
+JSON/output), and asserts that they match the paper.
+"""
+
+from repro.experiments import table1_ploc, table2_filters, table3_endpoints, table4_adaptive
+
+
+def test_table1_ploc_values(benchmark):
+    """Table 1: ploc(x, t) for the Figure 7 movement graph."""
+    result = benchmark(table1_ploc.run)
+    benchmark.extra_info["matches_paper"] = result.matches_paper
+    benchmark.extra_info["table"] = result.format_text()
+    assert result.matches_paper
+
+
+def test_table2_per_hop_filters(benchmark):
+    """Table 2: filters F0..F3 while the client moves a -> b -> d."""
+    result = benchmark(table2_filters.run)
+    benchmark.extra_info["matches_paper"] = result.matches_paper
+    benchmark.extra_info["implementation_agrees"] = result.implementation_agrees
+    benchmark.extra_info["table"] = result.format_text()
+    assert result.matches_paper and result.implementation_agrees
+
+
+def test_table3_endpoints(benchmark):
+    """Table 3: the global sub/unsub and flooding end points."""
+    result = benchmark(table3_endpoints.run)
+    benchmark.extra_info["matches_paper"] = result.matches_paper
+    assert result.matches_paper
+
+
+def test_table4_adaptive_levels(benchmark):
+    """Table 4 / Figure 8: adaptive levels for Delta=100ms, delta=(120,50,50,20)ms."""
+    result = benchmark(table4_adaptive.run)
+    benchmark.extra_info["levels"] = result.levels
+    benchmark.extra_info["matches_paper"] = result.matches_paper
+    assert result.matches_paper

@@ -1,0 +1,89 @@
+"""Room-aware notifications in a smart building (logical mobility).
+
+A visitor walks through a building served by a single border broker and
+only wants facility notifications (temperature, door events, printer
+status) for the room they are currently in — the "conference room next
+door" example of Section 3.3.  The example also contrasts the three
+configurations of the ploc scheme on the same walk: the trivial
+global-sub/unsub end point, the adaptive plan, and the flooding end point
+(Table 3), reporting how many notifications each one pushed across the
+broker links.
+
+Run with::
+
+    python examples/smart_building.py
+"""
+
+from repro import MYLOC, MovementGraph, PubSubNetwork, UncertaintyPlan, star_topology
+from repro.baselines.endpoints import flooding_endpoint_plan, global_subunsub_plan
+from repro.metrics.counters import MessageCounter
+from repro.mobility.driver import ItineraryDriver
+from repro.mobility.models import cyclic_walk
+from repro.sim.rng import DeterministicRandom
+from repro.workload.generators import UniformLocationPublisher
+
+ROOMS = ["lobby", "office-1", "office-2", "lab", "meeting-room", "kitchen"]
+DWELL_TIME = 6.0
+HORIZON = 72.0
+
+
+def run_configuration(label: str, plan: UncertaintyPlan) -> None:
+    """Run the same walk and workload under one uncertainty plan."""
+    building = MovementGraph.line(ROOMS)
+    network = PubSubNetwork(star_topology(3, hub="hub"), strategy="covering", latency=0.01)
+
+    facility = network.add_client("facility", "B2")
+    facility.advertise({"category": "facility"})
+
+    visitor = network.add_client("visitor", "B1")
+    visitor.subscribe_location_dependent(
+        {"category": "facility", "location": MYLOC},
+        movement_graph=building,
+        plan=plan,
+        initial_location=ROOMS[0],
+    )
+    network.settle()
+
+    walk = cyclic_walk(ROOMS, dwell_time=DWELL_TIME, cycles=2)
+    ItineraryDriver(network, visitor).schedule_logical(walk)
+
+    rng = DeterministicRandom(7)
+    sensors = UniformLocationPublisher(
+        locations=ROOMS,
+        rate=3.0,
+        rng=rng,
+        base_attributes={"category": "facility", "kind": "temperature"},
+    )
+    sensors.drive(network, facility, start=0.5, end=HORIZON)
+
+    network.run_until(HORIZON + 2.0)
+    network.settle()
+
+    counter = MessageCounter(network.trace)
+    breakdown = counter.breakdown()
+    print(
+        "{:<22} delivered={:>4}   link messages: notifications={:>5}  admin={:>4}  mobility={:>4}".format(
+            label,
+            len(visitor.received),
+            breakdown.notifications,
+            breakdown.admin,
+            breakdown.mobility,
+        )
+    )
+
+
+def main() -> None:
+    print("visitor walks {} rooms, {:.0f} s per room, for {:.0f} s\n".format(len(ROOMS), DWELL_TIME, HORIZON))
+    hops = 2  # B1 -> hub -> B2
+    adaptive = UncertaintyPlan.adaptive(dwell_time=DWELL_TIME, hop_delays=[0.01] * hops)
+    run_configuration("global sub/unsub", global_subunsub_plan(hops))
+    run_configuration("adaptive (Section 5.3)", adaptive)
+    run_configuration("flooding end point", flooding_endpoint_plan(hops, MovementGraph.line(ROOMS)))
+    print(
+        "\nAll three configurations deliver the notifications for the visitor's current room;"
+        "\nthey differ in how many notifications travel the broker links unnecessarily."
+    )
+
+
+if __name__ == "__main__":
+    main()

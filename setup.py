@@ -1,0 +1,18 @@
+"""Setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file only
+exists so that the package can be installed in editable mode on machines
+without the ``wheel`` package (offline environments), via::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,77 @@
+"""repro — a reproduction of "Supporting Mobility in Content-Based
+Publish/Subscribe Middleware" (Fiege, Gärtner, Kasten, Zeidler;
+Middleware 2003).
+
+The package contains a complete, from-scratch Rebeca-style content-based
+publish/subscribe middleware running on a deterministic discrete-event
+simulator, extended with the paper's two mobility mechanisms:
+
+* **physical mobility** — transparent relocation of roaming clients with
+  buffering, fetch/replay and garbage collection (Section 4), and
+* **logical mobility** — location-dependent subscriptions (``myloc``),
+  per-hop ``ploc`` pre-subscription and the adaptive uncertainty scheme
+  (Section 5).
+
+Quick start::
+
+    from repro import PubSubNetwork, line_topology
+
+    net = PubSubNetwork(line_topology(4), strategy="covering")
+    producer = net.add_client("producer", "B4")
+    consumer = net.add_client("consumer", "B1")
+    producer.advertise({"service": "parking"})
+    consumer.subscribe({"service": "parking"})
+    net.settle()
+    producer.publish({"service": "parking", "location": "Rebeca Drive 100"})
+    net.settle()
+    assert len(consumer.received) == 1
+
+See ``examples/`` for complete scenarios and ``EXPERIMENTS.md`` for the
+reproduction of every table and figure of the paper.
+"""
+
+from repro.broker import Broker, BrokerConfig, Client, PubSubNetwork
+from repro.core import (
+    MYLOC,
+    LocationDependentFilter,
+    MovementGraph,
+    PlocFunction,
+    UncertaintyPlan,
+)
+from repro.filters import Filter, MatchAll, MatchNone
+from repro.messages import Notification
+from repro.sim import DeterministicRandom, Simulator, TraceRecorder
+from repro.topology import (
+    BrokerGraph,
+    balanced_tree_topology,
+    line_topology,
+    random_tree_topology,
+    star_topology,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Broker",
+    "BrokerConfig",
+    "Client",
+    "PubSubNetwork",
+    "Filter",
+    "MatchAll",
+    "MatchNone",
+    "Notification",
+    "MovementGraph",
+    "PlocFunction",
+    "UncertaintyPlan",
+    "LocationDependentFilter",
+    "MYLOC",
+    "Simulator",
+    "TraceRecorder",
+    "DeterministicRandom",
+    "BrokerGraph",
+    "line_topology",
+    "star_topology",
+    "balanced_tree_topology",
+    "random_tree_topology",
+    "__version__",
+]

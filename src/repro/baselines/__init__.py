@@ -1,0 +1,31 @@
+"""Baseline behaviours the paper compares against.
+
+* :mod:`repro.baselines.naive_roaming` — physical mobility without any
+  middleware support: the client just (un)subscribes at whatever broker it
+  happens to reach.  Depending on the timing this loses notifications or
+  delivers them twice (Figure 2), which is exactly what the relocation
+  protocol of Section 4 fixes.
+* :mod:`repro.baselines.resubscribe` — logical mobility emulated "on top"
+  of an unmodified system by unsubscribing/subscribing on every location
+  change; with simple routing this suffers the ~2·t_d blackout of
+  Figure 3a.
+* :mod:`repro.baselines.flooding_client_filter` — flooding with pure
+  client-side filtering (Figure 3b): complete and blackout-free, but every
+  notification crosses every link.
+* :mod:`repro.baselines.endpoints` — the two degenerate instantiations of
+  the ploc scheme (Table 3): global sub/unsub (slow clients) and flooding
+  (fast clients).
+"""
+
+from repro.baselines.naive_roaming import NaiveRoamingClient
+from repro.baselines.resubscribe import ResubscribingLocationConsumer
+from repro.baselines.flooding_client_filter import FloodingLocationConsumer
+from repro.baselines.endpoints import flooding_endpoint_plan, global_subunsub_plan
+
+__all__ = [
+    "NaiveRoamingClient",
+    "ResubscribingLocationConsumer",
+    "FloodingLocationConsumer",
+    "global_subunsub_plan",
+    "flooding_endpoint_plan",
+]

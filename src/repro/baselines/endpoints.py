@@ -1,0 +1,39 @@
+"""The two degenerate end points of the ploc scheme (Table 3).
+
+Section 5.3: "If the client moves very slowly ... we would like the scheme
+to behave like the trivial sub/unsub solution ... On the other hand, if
+the client moves very fast and Δ is much smaller than δ₁, the method
+should revert to flooding."
+
+Both end points are instances of the general scheme with particular level
+assignments, which is exactly how the paper presents them ("both
+implementations are instantiations of our scheme", Section 5.2).  The
+helpers here produce the corresponding :class:`~repro.core.adaptivity.UncertaintyPlan`
+objects so experiments can run all three configurations through the same
+code path.
+"""
+
+from __future__ import annotations
+
+from repro.core.adaptivity import UncertaintyPlan
+from repro.core.ploc import MovementGraph
+
+
+def global_subunsub_plan(hops: int) -> UncertaintyPlan:
+    """The trivial global sub/unsub end point (Table 3, top).
+
+    Every hop beyond the client-side filter subscribes to one movement
+    step of look-ahead — enough for a slowly moving client, for whom the
+    subscription updates always win the race against the next movement.
+    """
+    return UncertaintyPlan.trivial(hops)
+
+
+def flooding_endpoint_plan(hops: int, movement_graph: MovementGraph) -> UncertaintyPlan:
+    """The flooding end point (Table 3, bottom).
+
+    Every hop beyond the client-side filter subscribes to the entire
+    location set (the ploc saturation level), so all location-matching
+    notifications travel the full path and only the border broker filters.
+    """
+    return UncertaintyPlan.flooding(hops, movement_graph)

@@ -1,0 +1,78 @@
+"""Flooding with client-side filtering (Figure 3b).
+
+"Another basic solution ... is again based on flooding.  The local broker
+can then decide to deliver a notification to a client depending on the
+client's current location.  Obviously, flooding prevents the blackout
+periods ... but it should be equally clear that flooding is a very
+expensive routing strategy especially for large pub/sub systems."
+(Section 3.3)
+
+The baseline is realised by running the network with the ``flooding``
+routing strategy and registering the consumer's location-dependent
+subscription normally: the border broker keeps the exact per-location
+filter (``F0``) for client-side filtering and — because subscriptions are
+never forwarded under flooding — location changes stay purely local.
+:class:`FloodingLocationConsumer` packages that setup and exposes the same
+interface as the re-subscription baseline so experiments can swap them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.broker.base import Broker
+from repro.broker.client import Client
+from repro.core.adaptivity import UncertaintyPlan
+from repro.core.location_filter import MYLOC
+from repro.core.ploc import MovementGraph
+
+
+class FloodingLocationConsumer:
+    """A location-aware consumer intended for flooding networks."""
+
+    def __init__(
+        self,
+        client_id: str,
+        base_template: Mapping[str, Any],
+        movement_graph: MovementGraph,
+        initial_location: str,
+        location_attribute: str = "location",
+        vicinity: int = 0,
+    ) -> None:
+        self.client = Client(client_id)
+        self.movement_graph = movement_graph
+        self.initial_location = initial_location
+        template = dict(base_template)
+        template[location_attribute] = MYLOC
+        self._template = template
+        self._location_attribute = location_attribute
+        self._vicinity = vicinity
+        self.subscription_id: Optional[str] = None
+
+    def attach(self, broker: Broker) -> None:
+        """Attach and register the location-dependent subscription."""
+        self.client.attach(broker)
+        # Under flooding the plan is irrelevant (nothing is forwarded); the
+        # trivial plan keeps the border broker's own filter exact.
+        plan = UncertaintyPlan.trivial(1)
+        self.subscription_id = self.client.subscribe_location_dependent(
+            self._template,
+            movement_graph=self.movement_graph,
+            plan=plan,
+            initial_location=self.initial_location,
+            location_attribute=self._location_attribute,
+            vicinity=self._vicinity,
+        )
+
+    def set_location(self, location: str) -> None:
+        """Follow a location change (a purely local operation under flooding)."""
+        self.client.set_location(location)
+
+    def received_identities(self) -> List[tuple]:
+        """Identities of everything delivered to the consumer."""
+        return self.client.received_identities()
+
+    @property
+    def client_id(self) -> str:
+        """The wrapped client's identifier."""
+        return self.client.client_id

@@ -1,0 +1,75 @@
+"""Re-subscription baseline for logical mobility (Figure 3a).
+
+"The idea would be to build a wrapper around an existing system that
+follows the location changes of the users and transparently unsubscribes
+to the old location and subscribes to the new one when the user moves.
+However ... it usually takes an unnegligible time delay to process a new
+subscription ... If the client remains at any new location less than 2·t_d
+time, then the subscriber will 'starve'." (Section 3.3)
+
+:class:`ResubscribingLocationConsumer` is exactly that wrapper: a plain
+pub/sub client whose location-dependent subscription is emulated by
+issuing, on every location change, an unsubscription for the old exact
+location and a subscription for the new one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.broker.base import Broker
+from repro.broker.client import Client
+from repro.filters.constraints import Equals
+from repro.filters.filter import Filter
+
+
+class ResubscribingLocationConsumer:
+    """A consumer emulating location dependence with plain sub/unsub calls."""
+
+    def __init__(
+        self,
+        client_id: str,
+        base_template: Mapping[str, Any],
+        location_attribute: str = "location",
+    ) -> None:
+        self.client = Client(client_id)
+        self.base_template = dict(base_template)
+        self.location_attribute = location_attribute
+        self.current_location: Optional[str] = None
+        self._current_subscription: Optional[str] = None
+        self._counter = 0
+        #: (time-ordered) history of (subscription id, location) pairs.
+        self.subscription_history: List[tuple] = []
+
+    def attach(self, broker: Broker) -> None:
+        """Attach the wrapped client to its border broker."""
+        self.client.attach(broker)
+
+    def _exact_filter(self, location: str) -> Filter:
+        template = dict(self.base_template)
+        template[self.location_attribute] = Equals(location)
+        return Filter(template)
+
+    def set_location(self, location: str) -> str:
+        """Follow a location change: unsubscribe the old spot, subscribe the new one."""
+        if not self.client.attached:
+            raise RuntimeError("consumer must be attached before setting a location")
+        if self._current_subscription is not None:
+            self.client.unsubscribe(self._current_subscription)
+        self._counter += 1
+        subscription_id = "resub-{}".format(self._counter)
+        self.client.subscribe(self._exact_filter(location), subscription_id=subscription_id)
+        self._current_subscription = subscription_id
+        self.current_location = location
+        self.subscription_history.append((subscription_id, location))
+        return subscription_id
+
+    # -- results ----------------------------------------------------------------
+    def received_identities(self) -> List[tuple]:
+        """Identities of everything delivered across all emulation subscriptions."""
+        return self.client.received_identities()
+
+    @property
+    def client_id(self) -> str:
+        """The wrapped client's identifier."""
+        return self.client.client_id

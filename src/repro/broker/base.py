@@ -1,0 +1,1077 @@
+"""The broker process.
+
+A :class:`Broker` owns
+
+* a subscription routing table and an advertisement table
+  (:class:`~repro.routing.table.RoutingTable`),
+* a routing strategy (:mod:`repro.routing.strategies`) that decides which
+  filters are forwarded to which neighbours,
+* outgoing links to its neighbour brokers,
+* registrations of locally attached clients (making it a *border broker*
+  for those clients), and
+* the per-subscription mobility state of both protocols: virtual
+  counterparts and relocation buffers for physical mobility (Section 4),
+  and :class:`~repro.core.logical.LogicalSubscriptionState` records for
+  logical mobility (Section 5).
+
+Subscription forwarding is organised around a single primitive,
+:meth:`Broker.refresh_forwarding`: for a neighbour ``N`` the broker
+computes the *desired* set of (filter, subject) pairs that should be
+registered at ``N`` — the strategy reduces the filters, advertisements
+restrict the directions — and then emits exactly the ``Subscribe`` /
+``Unsubscribe`` messages needed to move from the currently forwarded set
+to the desired set.  Plain subscriptions, unsubscriptions, client
+attach/detach and the relocation protocol all reuse this primitive, which
+keeps the broker's behaviour consistent across all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.location_filter import (
+    LocationDependentFilter,
+    LocationDependentSubscribe,
+    LocationDependentUnsubscribe,
+)
+from repro.core.logical import LogicalSubscriptionState
+from repro.core.physical import RelocationBuffer, RelocationRecord, VirtualCounterpart
+from repro.filters.covering import filter_covers, filters_overlap_hint
+from repro.filters.filter import Filter, MatchNone
+from repro.messages.admin import Advertise, Subscribe, Unadvertise, Unsubscribe
+from repro.messages.base import Message
+from repro.messages.mobility import (
+    FetchRequest,
+    LocationUpdate,
+    MovedSubscribe,
+    RelocationComplete,
+    Replay,
+)
+from repro.messages.notification import Notification, SequencedNotification
+from repro.routing.strategies import RoutingStrategy, make_strategy
+from repro.routing.table import RoutingTable
+from repro.sim.engine import Simulator
+from repro.sim.network import Link
+from repro.sim.trace import TraceRecorder
+
+
+def subscription_token(client_id: str, subscription_id: str) -> str:
+    """The routing subject used for one client subscription."""
+    return "{}/{}".format(client_id, subscription_id)
+
+
+@dataclass
+class BrokerConfig:
+    """Tunable broker behaviour.
+
+    Parameters
+    ----------
+    use_advertisements:
+        When ``True`` (the default), subscriptions are only forwarded
+        toward neighbours from which an overlapping advertisement was
+        received.  This is what allows the relocation protocol to tear
+        down the now-unused parts of the old delivery path (Section 4.1's
+        garbage-collection guarantee).
+    counterpart_max_buffer:
+        Bound on the virtual counterpart buffer; ``None`` means unbounded
+        (the paper's idealised completeness).
+    propagate_unchanged_location_updates:
+        When ``True`` (the paper's conservative assumption behind
+        Figure 9), a location change generates an administrative message on
+        every link of the subscription path even if the corresponding
+        ``ploc`` set did not change; when ``False``, propagation stops at
+        the first hop whose upstream filter is unaffected (an ablation).
+    """
+
+    use_advertisements: bool = True
+    counterpart_max_buffer: Optional[int] = None
+    propagate_unchanged_location_updates: bool = True
+
+
+@dataclass
+class _SubscriptionRecord:
+    """Border-broker bookkeeping for one locally attached subscription."""
+
+    client_id: str
+    subscription_id: str
+    filter: Filter
+    next_sequence: int = 1
+    relocation_buffer: Optional[RelocationBuffer] = None
+    logical: Optional[LogicalSubscriptionState] = None
+
+    @property
+    def token(self) -> str:
+        return subscription_token(self.client_id, self.subscription_id)
+
+
+@dataclass
+class _ClientRegistration:
+    """A locally attached (or recently detached) client."""
+
+    client: Any
+    attached: bool = True
+    subscriptions: Dict[str, _SubscriptionRecord] = field(default_factory=dict)
+    advertisements: Dict[str, Filter] = field(default_factory=dict)
+
+
+class Broker:
+    """One broker of the content-based pub/sub network."""
+
+    def __init__(
+        self,
+        name: str,
+        simulator: Simulator,
+        strategy: RoutingStrategy,
+        trace: Optional[TraceRecorder] = None,
+        config: Optional[BrokerConfig] = None,
+    ) -> None:
+        self.name = name
+        self.simulator = simulator
+        self.strategy = strategy
+        self.trace = trace
+        self.config = config or BrokerConfig()
+
+        # Link management: neighbour broker name -> outgoing link.
+        self._links: Dict[str, Link] = {}
+
+        # Routing state.
+        self.subscription_table = RoutingTable()
+        self.advertisement_table = RoutingTable()
+        # neighbour -> {(filter key, subject): Filter} already forwarded there
+        self._forwarded_subscriptions: Dict[str, Dict[Tuple[Any, str], Filter]] = {}
+        self._forwarded_advertisements: Dict[str, Dict[Tuple[Any, str], Filter]] = {}
+
+        # Border-broker state.
+        self._clients: Dict[str, _ClientRegistration] = {}
+        self._counterparts: Dict[str, VirtualCounterpart] = {}
+
+        # Logical mobility: token -> per-broker subscription state, and the
+        # neighbours the location-dependent subscription was forwarded to.
+        self._logical_states: Dict[str, LogicalSubscriptionState] = {}
+        self._logical_forwarded_to: Dict[str, Set[str]] = {}
+
+        # Relocation bookkeeping (benchmarks read this).
+        self.relocation_records: List[RelocationRecord] = []
+
+        # Counters used by tests and diagnostics.
+        self.counters: Dict[str, int] = {
+            "notifications_received": 0,
+            "notifications_forwarded": 0,
+            "notifications_delivered": 0,
+            "notifications_buffered_counterpart": 0,
+            "notifications_buffered_relocation": 0,
+            "admin_received": 0,
+            "mobility_received": 0,
+            "fetch_requests_sent": 0,
+            "replays_sent": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def add_link(self, link: Link) -> None:
+        """Register the outgoing link to a neighbour broker."""
+        if link.source != self.name:
+            raise ValueError(
+                "link source {} does not match broker {}".format(link.source, self.name)
+            )
+        self._links[link.target] = link
+        self._forwarded_subscriptions.setdefault(link.target, {})
+        self._forwarded_advertisements.setdefault(link.target, {})
+
+    def neighbours(self) -> List[str]:
+        """Names of neighbouring brokers, sorted."""
+        return sorted(self._links)
+
+    def link_to(self, neighbour: str) -> Link:
+        """The outgoing link to *neighbour* (raises ``KeyError`` if absent)."""
+        return self._links[neighbour]
+
+    def is_border_broker(self) -> bool:
+        """``True`` when at least one client is (or was) attached here."""
+        return bool(self._clients) or bool(self._counterparts)
+
+    # ------------------------------------------------------------------
+    # Message entry points
+    # ------------------------------------------------------------------
+    def receive(self, message: Message, link: Link) -> None:
+        """Handle a message arriving over a broker-to-broker link."""
+        self._dispatch(message, from_destination=link.source)
+
+    def _dispatch(self, message: Message, from_destination: Optional[str]) -> None:
+        if isinstance(message, Notification):
+            self.counters["notifications_received"] += 1
+            self._handle_notification(message, from_destination)
+        elif isinstance(message, Subscribe):
+            self.counters["admin_received"] += 1
+            self._handle_subscribe(message, from_destination)
+        elif isinstance(message, Unsubscribe):
+            self.counters["admin_received"] += 1
+            self._handle_unsubscribe(message, from_destination)
+        elif isinstance(message, Advertise):
+            self.counters["admin_received"] += 1
+            self._handle_advertise(message, from_destination)
+        elif isinstance(message, Unadvertise):
+            self.counters["admin_received"] += 1
+            self._handle_unadvertise(message, from_destination)
+        elif isinstance(message, MovedSubscribe):
+            self.counters["mobility_received"] += 1
+            self._handle_moved_subscribe(message, from_destination)
+        elif isinstance(message, FetchRequest):
+            self.counters["mobility_received"] += 1
+            self._handle_fetch_request(message, from_destination)
+        elif isinstance(message, Replay):
+            self.counters["mobility_received"] += 1
+            self._handle_replay(message, from_destination)
+        elif isinstance(message, RelocationComplete):
+            self.counters["mobility_received"] += 1
+            self._handle_relocation_complete(message, from_destination)
+        elif isinstance(message, LocationDependentSubscribe):
+            self.counters["mobility_received"] += 1
+            self._handle_location_dependent_subscribe(message, from_destination)
+        elif isinstance(message, LocationDependentUnsubscribe):
+            self.counters["mobility_received"] += 1
+            self._handle_location_dependent_unsubscribe(message, from_destination)
+        elif isinstance(message, LocationUpdate):
+            self.counters["mobility_received"] += 1
+            self._handle_location_update(message, from_destination)
+        else:
+            raise TypeError("broker {} cannot handle message {!r}".format(self.name, message))
+
+    # ------------------------------------------------------------------
+    # Client-facing API (the border-broker side of the client library)
+    # ------------------------------------------------------------------
+    def attach_client(self, client: Any) -> None:
+        """Attach *client* (an object exposing ``client_id`` and ``deliver``)."""
+        client_id = client.client_id
+        registration = self._clients.get(client_id)
+        if registration is None:
+            self._clients[client_id] = _ClientRegistration(client=client)
+        else:
+            registration.client = client
+            registration.attached = True
+
+    def detach_client(self, client_id: str, keep_counterpart: bool = True) -> None:
+        """Detach a client, converting its subscriptions into virtual counterparts.
+
+        The routing entries stay in place so matching notifications keep
+        flowing here and get buffered — the "virtual counterpart of a
+        roaming client at the last known location" of Section 4.1.
+
+        With ``keep_counterpart=False`` the broker keeps the routing
+        entries but buffers nothing; matching notifications arriving for
+        the absent client are simply lost.  This is the behaviour of an
+        unmodified pub/sub system and is only used by the naive-roaming
+        baseline that reproduces Figure 2.
+        """
+        registration = self._clients.get(client_id)
+        if registration is None:
+            return
+        registration.attached = False
+        if not keep_counterpart:
+            return
+        for record in registration.subscriptions.values():
+            token = record.token
+            if token in self._counterparts:
+                continue
+            counterpart = VirtualCounterpart(
+                client_id=record.client_id,
+                subscription_id=record.subscription_id,
+                filter_=record.filter,
+                next_sequence=record.next_sequence,
+                max_buffer=self.config.counterpart_max_buffer,
+            )
+            counterpart.created_at = self.simulator.now
+            self._counterparts[token] = counterpart
+
+    def client_subscribe(
+        self, client_id: str, subscription_id: str, filter_: Filter
+    ) -> None:
+        """Register a plain (location-independent) subscription for a local client."""
+        registration = self._require_client(client_id)
+        record = _SubscriptionRecord(
+            client_id=client_id, subscription_id=subscription_id, filter=filter_
+        )
+        registration.subscriptions[subscription_id] = record
+        token = record.token
+        self.subscription_table.add(filter_, client_id, token)
+        self._refresh_all_forwarding(exclude=client_id)
+
+    def client_unsubscribe(self, client_id: str, subscription_id: str) -> None:
+        """Withdraw a local client's subscription and propagate the change."""
+        registration = self._require_client(client_id)
+        record = registration.subscriptions.pop(subscription_id, None)
+        if record is None:
+            return
+        token = record.token
+        if record.logical is not None:
+            self._teardown_logical_subscription(token)
+        self.subscription_table.remove(record.filter, client_id, token)
+        self._refresh_all_forwarding(exclude=client_id)
+
+    def client_advertise(self, client_id: str, advertisement_id: str, filter_: Filter) -> None:
+        """Register a local client's advertisement and flood it to neighbours."""
+        registration = self._require_client(client_id)
+        registration.advertisements[advertisement_id] = filter_
+        subject = subscription_token(client_id, advertisement_id)
+        self.advertisement_table.add(filter_, client_id, subject)
+        self._propagate_advertisement(filter_, subject, exclude=client_id)
+        # A new local advertisement can make remote subscriptions routable
+        # toward us; nothing to refresh locally (we are the producer side).
+
+    def client_unadvertise(self, client_id: str, advertisement_id: str) -> None:
+        """Withdraw a local client's advertisement."""
+        registration = self._require_client(client_id)
+        filter_ = registration.advertisements.pop(advertisement_id, None)
+        if filter_ is None:
+            return
+        subject = subscription_token(client_id, advertisement_id)
+        self.advertisement_table.remove(filter_, client_id, subject)
+        self._withdraw_advertisement(filter_, subject, exclude=client_id)
+
+    def client_publish(self, client_id: str, notification: Notification) -> None:
+        """Inject a notification published by a locally attached client."""
+        self._require_client(client_id)
+        if self.trace is not None:
+            self.trace.record_publish(self.simulator.now, notification)
+        self.counters["notifications_received"] += 1
+        self._handle_notification(notification, from_destination=client_id)
+
+    def client_moved_subscribe(
+        self,
+        client_id: str,
+        subscription_id: str,
+        filter_: Filter,
+        last_sequence: int,
+    ) -> None:
+        """Handle the re-issued subscription of a client that roamed to this broker.
+
+        This is step 3 of the paper's Figure 5: the client re-issues the
+        subscription together with the last received sequence number
+        (``(C, F, 123)``).  Neither the client nor this broker needs to
+        know the old border broker.
+        """
+        registration = self._require_client(client_id)
+        token = subscription_token(client_id, subscription_id)
+        record = _SubscriptionRecord(
+            client_id=client_id,
+            subscription_id=subscription_id,
+            filter=filter_,
+            next_sequence=last_sequence + 1,
+        )
+        registration.subscriptions[subscription_id] = record
+        started = RelocationRecord(
+            client_id=client_id,
+            subscription_id=subscription_id,
+            old_border=None,
+            new_border=self.name,
+            started_at=self.simulator.now,
+        )
+        self.relocation_records.append(started)
+
+        # Degenerate case: the client re-attached at its old border broker.
+        local_counterpart = self._counterparts.pop(token, None)
+        if local_counterpart is not None:
+            started.old_border = self.name
+            replayed = local_counterpart.replay_after(last_sequence)
+            self.subscription_table.add(filter_, client_id, token)
+            for sequenced in replayed:
+                self._deliver_to_client(record, sequenced.notification, sequenced.sequence)
+            if replayed:
+                record.next_sequence = replayed[-1].sequence + 1
+            started.replayed = len(replayed)
+            started.completed_at = self.simulator.now
+            self._refresh_all_forwarding(exclude=client_id)
+            return
+
+        # Normal case: buffer new-path notifications until the replay
+        # arrives, register the subscription locally, and look for the
+        # junction starting at this broker.
+        record.relocation_buffer = RelocationBuffer(client_id, subscription_id, last_sequence)
+        old_destinations = self._token_destinations(token, exclude={client_id})
+        self.subscription_table.add(filter_, client_id, token)
+        if old_destinations:
+            # This broker already lies on the old delivery path: it is the
+            # junction itself.
+            self._act_as_junction(token, filter_, last_sequence, old_destinations)
+        else:
+            forwarded = self._forward_moved_subscribe(
+                MovedSubscribe(
+                    client_id=client_id,
+                    subscription_id=subscription_id,
+                    filter_=filter_,
+                    last_sequence=last_sequence,
+                    new_border=self.name,
+                ),
+                exclude=client_id,
+            )
+            if forwarded == 0:
+                # No direction could possibly lead to the old location (an
+                # isolated broker, or no matching advertisements at all):
+                # complete the relocation immediately with an empty replay
+                # so the client does not wait forever.
+                record.relocation_buffer = None
+                started.completed_at = self.simulator.now
+        self._refresh_all_forwarding(exclude=client_id)
+
+    def client_location_dependent_subscribe(
+        self,
+        client_id: str,
+        subscription_id: str,
+        location_filter: LocationDependentFilter,
+        movement_graph: Any,
+        plan: Any,
+        initial_location: str,
+    ) -> None:
+        """Register a location-dependent subscription for a local client (Section 5)."""
+        registration = self._require_client(client_id)
+        state = LogicalSubscriptionState(
+            client_id=client_id,
+            subscription_id=subscription_id,
+            location_filter=location_filter,
+            movement_graph=movement_graph,
+            plan=plan,
+            current_location=initial_location,
+            hop_index=0,
+        )
+        record = _SubscriptionRecord(
+            client_id=client_id,
+            subscription_id=subscription_id,
+            filter=state.current_filter(),
+            logical=state,
+        )
+        registration.subscriptions[subscription_id] = record
+        token = record.token
+        self._logical_states[token] = state
+        self._logical_forwarded_to[token] = set()
+        self.subscription_table.add(record.filter, client_id, token)
+        message = LocationDependentSubscribe(
+            client_id=client_id,
+            subscription_id=subscription_id,
+            location_filter=location_filter,
+            movement_graph=movement_graph,
+            plan=plan,
+            current_location=initial_location,
+            hop_index=1,
+        )
+        self._forward_location_dependent_subscribe(message, exclude=client_id)
+
+    def client_set_location(self, client_id: str, new_location: str) -> None:
+        """Handle a location change of a locally attached, logically mobile client."""
+        registration = self._require_client(client_id)
+        for record in registration.subscriptions.values():
+            if record.logical is None:
+                continue
+            self._apply_location_change(record.token, new_location, from_destination=client_id)
+
+    def client_last_delivered_sequence(self, client_id: str, subscription_id: str) -> int:
+        """The last sequence number delivered to a local subscription (0 if none)."""
+        registration = self._clients.get(client_id)
+        if registration is None:
+            return 0
+        record = registration.subscriptions.get(subscription_id)
+        if record is None:
+            return 0
+        return record.next_sequence - 1
+
+    # ------------------------------------------------------------------
+    # Notification handling
+    # ------------------------------------------------------------------
+    def _handle_notification(self, notification: Notification, from_destination: Optional[str]) -> None:
+        attributes = notification.attributes
+        if self.strategy.floods_notifications:
+            forward_to = set(self._links)
+        else:
+            forward_to = {
+                destination
+                for destination in self.subscription_table.matching_destinations(attributes)
+                if destination in self._links
+            }
+        if from_destination in forward_to:
+            forward_to.discard(from_destination)
+        for neighbour in sorted(forward_to):
+            self.counters["notifications_forwarded"] += 1
+            self._links[neighbour].send(notification)
+
+        # Local delivery (including buffering into counterparts).
+        self._deliver_locally(notification, from_destination)
+
+    def _deliver_locally(self, notification: Notification, from_destination: Optional[str]) -> None:
+        attributes = notification.attributes
+        for entry in self.subscription_table.matching_entries(attributes):
+            destination = entry.destination
+            if destination in self._links or destination == from_destination:
+                continue
+            registration = self._clients.get(destination)
+            for token in sorted(entry.subjects):
+                counterpart = self._counterparts.get(token)
+                if counterpart is not None:
+                    counterpart.buffer(notification)
+                    self.counters["notifications_buffered_counterpart"] += 1
+                    continue
+                if registration is None or not registration.attached:
+                    continue
+                client_id, _, subscription_id = token.partition("/")
+                record = registration.subscriptions.get(subscription_id)
+                if record is None:
+                    continue
+                if record.relocation_buffer is not None and not record.relocation_buffer.complete:
+                    record.relocation_buffer.hold(notification)
+                    self.counters["notifications_buffered_relocation"] += 1
+                    continue
+                sequence = record.next_sequence
+                record.next_sequence += 1
+                self._deliver_to_client(record, notification, sequence)
+
+    def _deliver_to_client(
+        self, record: _SubscriptionRecord, notification: Notification, sequence: int
+    ) -> None:
+        registration = self._clients.get(record.client_id)
+        if registration is None or not registration.attached:
+            return
+        self.counters["notifications_delivered"] += 1
+        if self.trace is not None:
+            self.trace.record_delivery(
+                self.simulator.now,
+                record.client_id,
+                record.subscription_id,
+                notification,
+                sequence=sequence,
+            )
+        registration.client.deliver(record.subscription_id, notification, sequence)
+
+    # ------------------------------------------------------------------
+    # Plain subscription / advertisement handling
+    # ------------------------------------------------------------------
+    def _handle_subscribe(self, message: Subscribe, from_destination: Optional[str]) -> None:
+        if from_destination is None:
+            raise ValueError("broker-level Subscribe requires a source destination")
+        self.subscription_table.add(message.filter, from_destination, message.subject)
+        self._refresh_all_forwarding(exclude=from_destination)
+
+    def _handle_unsubscribe(self, message: Unsubscribe, from_destination: Optional[str]) -> None:
+        if from_destination is None:
+            raise ValueError("broker-level Unsubscribe requires a source destination")
+        self.subscription_table.remove(message.filter, from_destination, message.subject)
+        self._refresh_all_forwarding(exclude=from_destination)
+
+    def _handle_advertise(self, message: Advertise, from_destination: Optional[str]) -> None:
+        if from_destination is None:
+            raise ValueError("broker-level Advertise requires a source destination")
+        self.advertisement_table.add(message.filter, from_destination, message.subject)
+        self._propagate_advertisement(message.filter, message.subject, exclude=from_destination)
+        # Subscriptions may now become forwardable toward the advertiser.
+        self.refresh_forwarding(from_destination)
+        self._reforward_logical_subscriptions(toward=from_destination)
+
+    def _handle_unadvertise(self, message: Unadvertise, from_destination: Optional[str]) -> None:
+        if from_destination is None:
+            raise ValueError("broker-level Unadvertise requires a source destination")
+        self.advertisement_table.remove(message.filter, from_destination, message.subject)
+        self._withdraw_advertisement(message.filter, message.subject, exclude=from_destination)
+        self.refresh_forwarding(from_destination)
+
+    def _propagate_advertisement(self, filter_: Filter, subject: str, exclude: Optional[str]) -> None:
+        for neighbour in self.neighbours():
+            if neighbour == exclude:
+                continue
+            forwarded = self._forwarded_advertisements[neighbour]
+            key = (filter_.key(), subject)
+            if key in forwarded:
+                continue
+            forwarded[key] = filter_
+            self._links[neighbour].send(Advertise(filter_, subject=self.name, subscription_id=subject))
+
+    def _withdraw_advertisement(self, filter_: Filter, subject: str, exclude: Optional[str]) -> None:
+        for neighbour in self.neighbours():
+            if neighbour == exclude:
+                continue
+            forwarded = self._forwarded_advertisements[neighbour]
+            key = (filter_.key(), subject)
+            if key not in forwarded:
+                continue
+            del forwarded[key]
+            self._links[neighbour].send(
+                Unadvertise(filter_, subject=self.name, subscription_id=subject)
+            )
+
+    # ------------------------------------------------------------------
+    # Subscription forwarding (the strategy-driven refresh primitive)
+    # ------------------------------------------------------------------
+    def _refresh_all_forwarding(self, exclude: Optional[str] = None) -> None:
+        for neighbour in self.neighbours():
+            if neighbour == exclude:
+                continue
+            self.refresh_forwarding(neighbour)
+
+    def refresh_forwarding(self, neighbour: str) -> None:
+        """Bring the subscriptions forwarded to *neighbour* in line with the tables."""
+        desired = self._desired_forwarding(neighbour)
+        forwarded = self._forwarded_subscriptions[neighbour]
+        to_add = {key: filt for key, filt in desired.items() if key not in forwarded}
+        to_remove = {key: filt for key, filt in forwarded.items() if key not in desired}
+        link = self._links[neighbour]
+        # Subscribe before unsubscribing so covering replacements never
+        # leave a gap in which matching notifications would not be routed.
+        for (filter_key, subject), filter_ in sorted(to_add.items(), key=lambda kv: repr(kv[0])):
+            forwarded[(filter_key, subject)] = filter_
+            link.send(Subscribe(filter_, subject=subject))
+        for (filter_key, subject), filter_ in sorted(to_remove.items(), key=lambda kv: repr(kv[0])):
+            del forwarded[(filter_key, subject)]
+            link.send(Unsubscribe(filter_, subject=subject))
+
+    def _desired_forwarding(self, neighbour: str) -> Dict[Tuple[Any, str], Filter]:
+        """The (filter, subject) pairs that should be registered at *neighbour*."""
+        if self.strategy.floods_notifications:
+            return {}
+        entries = []
+        for entry in self.subscription_table.entries():
+            if entry.destination == neighbour:
+                continue
+            # Location-dependent subscriptions are propagated by their own
+            # protocol (LocationDependentSubscribe / LocationUpdate), not by
+            # the generic refresh.
+            plain_subjects = {
+                subject for subject in entry.subjects if subject not in self._logical_states
+            }
+            if not plain_subjects:
+                continue
+            if self.config.use_advertisements and not self._advertised_via(neighbour, entry.filter):
+                continue
+            entries.append((entry.filter, plain_subjects))
+        if not entries:
+            return {}
+        filters = [filter_ for filter_, _ in entries]
+        selected = self.strategy.desired_forwarding_set(filters)
+        desired: Dict[Tuple[Any, str], Filter] = {}
+        for filter_, subjects in entries:
+            cover = self._find_cover(selected, filter_)
+            if cover is None:
+                # The strategy should always produce a cover; fall back to
+                # forwarding the filter itself to stay correct.
+                cover = filter_
+            for subject in subjects:
+                desired[(cover.key(), subject)] = cover
+        return desired
+
+    @staticmethod
+    def _find_cover(selected: Sequence[Filter], filter_: Filter) -> Optional[Filter]:
+        for candidate in selected:
+            if candidate.key() == filter_.key():
+                return candidate
+        for candidate in selected:
+            if filter_covers(candidate, filter_):
+                return candidate
+        return None
+
+    def _advertised_via(self, neighbour: str, filter_: Filter) -> bool:
+        """Whether an overlapping advertisement was received from *neighbour*."""
+        for entry in self.advertisement_table.entries_for_destination(neighbour):
+            if filters_overlap_hint(entry.filter, filter_):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Physical mobility: relocation protocol (Section 4)
+    # ------------------------------------------------------------------
+    def _token_destinations(self, token: str, exclude: Set[str]) -> List[str]:
+        """Destinations of existing routing entries registered for *token*."""
+        return sorted(
+            {
+                entry.destination
+                for entry in self.subscription_table.entries_for_subject(token)
+                if entry.destination not in exclude
+            }
+        )
+
+    def _forward_moved_subscribe(self, message: MovedSubscribe, exclude: Optional[str]) -> int:
+        """Propagate a MovedSubscribe toward producers (it must find the junction).
+
+        Returns the number of neighbours the message was forwarded to.
+        """
+        token = subscription_token(message.client_id, message.subscription_id)
+        count = 0
+        for neighbour in self.neighbours():
+            if neighbour == exclude:
+                continue
+            if self.config.use_advertisements and not self._advertised_via(neighbour, message.filter):
+                continue
+            forwarded = self._forwarded_subscriptions[neighbour]
+            forwarded[(message.filter.key(), token)] = message.filter
+            self._links[neighbour].send(message)
+            count += 1
+        return count
+
+    def _handle_moved_subscribe(self, message: MovedSubscribe, from_destination: Optional[str]) -> None:
+        if from_destination is None:
+            raise ValueError("MovedSubscribe over a link requires a source")
+        token = subscription_token(message.client_id, message.subscription_id)
+        exclude = {from_destination}
+        old_destinations = self._token_destinations(token, exclude=exclude)
+        self.subscription_table.add(message.filter, from_destination, token)
+        if old_destinations:
+            self._act_as_junction(token, message.filter, message.last_sequence, old_destinations)
+        else:
+            self._forward_moved_subscribe(message, exclude=from_destination)
+        self._refresh_all_forwarding(exclude=from_destination)
+
+    def _act_as_junction(
+        self,
+        token: str,
+        filter_: Filter,
+        last_sequence: int,
+        old_destinations: Sequence[str],
+    ) -> None:
+        """Junction behaviour: divert the old path and request the replay.
+
+        The junction removes its routing entries toward the old location,
+        sends a fetch request along each of them, and from this moment on
+        routes newly received notifications along the new path only
+        (Section 4.1: "already starts routing all newly received
+        notifications from P along the new path").
+        """
+        client_id, _, subscription_id = token.partition("/")
+        for destination in old_destinations:
+            entry = None
+            for candidate in self.subscription_table.entries_for_subject(token):
+                if candidate.destination == destination:
+                    entry = candidate
+                    break
+            if entry is None:
+                continue
+            self.subscription_table.remove(entry.filter, destination, token)
+            counterpart = self._counterparts.get(token)
+            if destination not in self._links:
+                # The "old path" ends right here: this broker hosts the
+                # virtual counterpart (it is the old border broker).
+                if counterpart is not None:
+                    self._replay_counterpart(token, last_sequence, toward=None)
+                continue
+            self.counters["fetch_requests_sent"] += 1
+            self._links[destination].send(
+                FetchRequest(
+                    client_id=client_id,
+                    subscription_id=subscription_id,
+                    filter_=filter_,
+                    last_sequence=last_sequence,
+                    junction=self.name,
+                    new_border=self.name,
+                )
+            )
+
+    def _handle_fetch_request(self, message: FetchRequest, from_destination: Optional[str]) -> None:
+        if from_destination is None:
+            raise ValueError("FetchRequest over a link requires a source")
+        token = subscription_token(message.client_id, message.subscription_id)
+
+        # The old border broker: replay the buffered notifications.
+        if token in self._counterparts:
+            # Divert our routing entry for the token toward the fetch sender
+            # so that the replay (and any straggler notifications) flow back
+            # toward the junction and on to the new location.
+            for entry in list(self.subscription_table.entries_for_subject(token)):
+                self.subscription_table.remove(entry.filter, entry.destination, token)
+            self.subscription_table.add(message.filter, from_destination, token)
+            self._replay_counterpart(token, message.last_sequence, toward=from_destination)
+            self._refresh_all_forwarding(exclude=from_destination)
+            return
+
+        # An intermediate broker on the old path: divert the routing entry
+        # toward the fetch sender and forward the fetch along the old path.
+        old_entries = [
+            entry
+            for entry in self.subscription_table.entries_for_subject(token)
+            if entry.destination != from_destination
+        ]
+        if not old_entries:
+            # Nothing known about this subscription (already cleaned up, or
+            # a duplicate fetch from a second junction): drop the request.
+            return
+        for entry in old_entries:
+            destination = entry.destination
+            self.subscription_table.remove(entry.filter, destination, token)
+            if destination in self._links:
+                self._links[destination].send(message)
+        self.subscription_table.add(message.filter, from_destination, token)
+        self._refresh_all_forwarding(exclude=from_destination)
+
+    def _replay_counterpart(self, token: str, last_sequence: int, toward: Optional[str]) -> None:
+        """Ship the buffered suffix back toward the new location and clean up."""
+        counterpart = self._counterparts.pop(token, None)
+        if counterpart is None:
+            return
+        client_id, _, subscription_id = token.partition("/")
+        replayed = counterpart.replay_after(last_sequence)
+        self.counters["replays_sent"] += 1
+        replay = Replay(
+            client_id=client_id,
+            subscription_id=subscription_id,
+            notifications=replayed,
+            origin_border=self.name,
+        )
+        complete = RelocationComplete(
+            client_id=client_id,
+            subscription_id=subscription_id,
+            origin_border=self.name,
+        )
+        if toward is not None and toward in self._links:
+            self._links[toward].send(replay)
+            self._links[toward].send(complete)
+        else:
+            # The junction is this broker itself (old border == junction):
+            # route the replay along the token's current entries.
+            self._route_for_token(replay, token, exclude=None)
+            self._route_for_token(complete, token, exclude=None)
+        # The old client registration (if any) can now be garbage collected.
+        registration = self._clients.get(client_id)
+        if registration is not None and not registration.attached:
+            registration.subscriptions.pop(subscription_id, None)
+            if not registration.subscriptions:
+                self._clients.pop(client_id, None)
+
+    def _route_for_token(self, message: Message, token: str, exclude: Optional[str]) -> bool:
+        """Forward *message* along the routing entries registered for *token*.
+
+        Returns ``True`` when the message was forwarded to at least one
+        neighbour or handled locally.
+        """
+        routed = False
+        for entry in self.subscription_table.entries_for_subject(token):
+            destination = entry.destination
+            if destination == exclude:
+                continue
+            if destination in self._links:
+                self._links[destination].send(message)
+                routed = True
+            else:
+                routed = self._handle_token_message_locally(message, token) or routed
+        return routed
+
+    def _handle_token_message_locally(self, message: Message, token: str) -> bool:
+        """Deliver a Replay / RelocationComplete that reached the new border broker."""
+        client_id, _, subscription_id = token.partition("/")
+        registration = self._clients.get(client_id)
+        if registration is None:
+            return False
+        record = registration.subscriptions.get(subscription_id)
+        if record is None or record.relocation_buffer is None:
+            return False
+        buffer_ = record.relocation_buffer
+        if isinstance(message, Replay):
+            buffer_.accept_replay(message.notifications)
+            return True
+        if isinstance(message, RelocationComplete):
+            replayed, fresh = buffer_.flush()
+            for sequenced in replayed:
+                self._deliver_to_client(record, sequenced.notification, sequenced.sequence)
+            if replayed:
+                record.next_sequence = max(record.next_sequence, replayed[-1].sequence + 1)
+            for notification in fresh:
+                sequence = record.next_sequence
+                record.next_sequence += 1
+                self._deliver_to_client(record, notification, sequence)
+            record.relocation_buffer = None
+            for relocation in reversed(self.relocation_records):
+                if (
+                    relocation.client_id == client_id
+                    and relocation.subscription_id == subscription_id
+                    and relocation.completed_at is None
+                ):
+                    relocation.completed_at = self.simulator.now
+                    relocation.old_border = message.origin_border
+                    relocation.replayed = len(replayed)
+                    relocation.fresh = len(fresh)
+                    break
+            return True
+        return False
+
+    def _handle_replay(self, message: Replay, from_destination: Optional[str]) -> None:
+        token = subscription_token(message.client_id, message.subscription_id)
+        self._route_for_token(message, token, exclude=from_destination)
+
+    def _handle_relocation_complete(
+        self, message: RelocationComplete, from_destination: Optional[str]
+    ) -> None:
+        token = subscription_token(message.client_id, message.subscription_id)
+        self._route_for_token(message, token, exclude=from_destination)
+
+    # ------------------------------------------------------------------
+    # Logical mobility (Section 5)
+    # ------------------------------------------------------------------
+    def _forward_location_dependent_subscribe(
+        self, message: LocationDependentSubscribe, exclude: Optional[str]
+    ) -> None:
+        token = subscription_token(message.client_id, message.subscription_id)
+        forwarded_to = self._logical_forwarded_to.setdefault(token, set())
+        if self.strategy.floods_notifications:
+            # Under flooding, notifications reach every broker anyway; the
+            # location-dependent part degenerates to pure client-side
+            # filtering at the border broker (Figure 3b).
+            return
+        probe_filter = message.location_filter.base_filter
+        for neighbour in self.neighbours():
+            if neighbour == exclude:
+                continue
+            if self.config.use_advertisements and not self._advertised_via(neighbour, probe_filter):
+                continue
+            forwarded_to.add(neighbour)
+            self._links[neighbour].send(message)
+
+    def _reforward_logical_subscriptions(self, toward: str) -> None:
+        """Forward held location-dependent subscriptions toward a newly advertised direction.
+
+        A location-dependent subscription issued before the matching
+        advertisement has propagated cannot be forwarded immediately; when
+        the advertisement later arrives from *toward*, the subscription is
+        sent after it (the same late binding the generic
+        :meth:`refresh_forwarding` performs for plain subscriptions).
+        """
+        if toward not in self._links or self.strategy.floods_notifications:
+            return
+        for token, state in self._logical_states.items():
+            forwarded_to = self._logical_forwarded_to.setdefault(token, set())
+            if toward in forwarded_to:
+                continue
+            if self.config.use_advertisements and not self._advertised_via(
+                toward, state.location_filter.base_filter
+            ):
+                continue
+            forwarded_to.add(toward)
+            self._links[toward].send(
+                LocationDependentSubscribe(
+                    client_id=state.client_id,
+                    subscription_id=state.subscription_id,
+                    location_filter=state.location_filter,
+                    movement_graph=state.movement_graph,
+                    plan=state.plan,
+                    current_location=state.current_location,
+                    hop_index=state.hop_index + 1,
+                )
+            )
+
+    def _handle_location_dependent_subscribe(
+        self, message: LocationDependentSubscribe, from_destination: Optional[str]
+    ) -> None:
+        if from_destination is None:
+            raise ValueError("LocationDependentSubscribe over a link requires a source")
+        token = subscription_token(message.client_id, message.subscription_id)
+        state = LogicalSubscriptionState(
+            client_id=message.client_id,
+            subscription_id=message.subscription_id,
+            location_filter=message.location_filter,
+            movement_graph=message.movement_graph,
+            plan=message.plan,
+            current_location=message.current_location,
+            hop_index=message.hop_index,
+        )
+        self._logical_states[token] = state
+        self.subscription_table.add(state.current_filter(), from_destination, token)
+        self._forward_location_dependent_subscribe(message.for_next_hop(), exclude=from_destination)
+
+    def _handle_location_dependent_unsubscribe(
+        self, message: LocationDependentUnsubscribe, from_destination: Optional[str]
+    ) -> None:
+        token = subscription_token(message.client_id, message.subscription_id)
+        self._teardown_logical_subscription(token, forward=True)
+
+    def _teardown_logical_subscription(self, token: str, forward: bool = True) -> None:
+        state = self._logical_states.pop(token, None)
+        self.subscription_table.remove_subject(token)
+        forwarded_to = self._logical_forwarded_to.pop(token, set())
+        if state is None or not forward:
+            return
+        message = LocationDependentUnsubscribe(
+            client_id=state.client_id, subscription_id=state.subscription_id
+        )
+        for neighbour in forwarded_to:
+            if neighbour in self._links:
+                self._links[neighbour].send(message)
+
+    def _handle_location_update(self, message: LocationUpdate, from_destination: Optional[str]) -> None:
+        token = subscription_token(message.client_id, message.subscription_id)
+        self._apply_location_change(token, message.new_location, from_destination)
+
+    def _apply_location_change(
+        self, token: str, new_location: str, from_destination: Optional[str]
+    ) -> None:
+        state = self._logical_states.get(token)
+        if state is None:
+            return
+        old_location = state.current_location
+        delta = state.apply_location_change(new_location)
+
+        # Update the stored routing entry (and, at the border broker, the
+        # client-side filter used for exact delivery filtering).
+        entries = list(self.subscription_table.entries_for_subject(token))
+        for entry in entries:
+            self.subscription_table.remove(entry.filter, entry.destination, token)
+            self.subscription_table.add(delta.new_filter, entry.destination, token)
+        client_id, _, subscription_id = token.partition("/")
+        registration = self._clients.get(client_id)
+        if registration is not None:
+            record = registration.subscriptions.get(subscription_id)
+            if record is not None and record.logical is state:
+                record.filter = delta.new_filter
+
+        # Decide whether the update needs to travel further toward the
+        # producers.  The next hop's filter changes iff ploc at its level
+        # differs between old and new location.
+        forward = True
+        if not self.config.propagate_unchanged_location_updates:
+            next_level = state.plan.level_for_hop(state.hop_index + 1)
+            next_steps = next_level + state.location_filter.vicinity
+            ploc = state._ploc  # deliberate: reuse the memoised ploc
+            forward = ploc(old_location, next_steps) != ploc(new_location, next_steps)
+        if not forward:
+            return
+        update = LocationUpdate(
+            client_id=client_id,
+            subscription_id=subscription_id,
+            old_location=old_location,
+            new_location=new_location,
+            hop_index=state.hop_index + 1,
+        )
+        for neighbour in self._logical_forwarded_to.get(token, set()):
+            if neighbour == from_destination:
+                continue
+            if neighbour in self._links:
+                self._links[neighbour].send(update)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers used by tests, experiments and benchmarks
+    # ------------------------------------------------------------------
+    def routing_table_size(self) -> int:
+        """Number of rows in the subscription routing table."""
+        return len(self.subscription_table)
+
+    def forwarded_subscription_count(self, neighbour: str) -> int:
+        """Number of (filter, subject) pairs currently forwarded to *neighbour*."""
+        return len(self._forwarded_subscriptions.get(neighbour, {}))
+
+    def counterpart_for(self, client_id: str, subscription_id: str) -> Optional[VirtualCounterpart]:
+        """The virtual counterpart for a subscription, if one exists here."""
+        return self._counterparts.get(subscription_token(client_id, subscription_id))
+
+    def has_counterparts(self) -> bool:
+        """``True`` when any virtual counterpart is currently held here."""
+        return bool(self._counterparts)
+
+    def logical_state_for(
+        self, client_id: str, subscription_id: str
+    ) -> Optional[LogicalSubscriptionState]:
+        """The logical-mobility state for a subscription, if this broker has one."""
+        return self._logical_states.get(subscription_token(client_id, subscription_id))
+
+    def _require_client(self, client_id: str) -> _ClientRegistration:
+        registration = self._clients.get(client_id)
+        if registration is None or not registration.attached:
+            raise ValueError(
+                "client {} is not attached to broker {}".format(client_id, self.name)
+            )
+        return registration
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Broker({}, strategy={}, clients={}, table={})".format(
+            self.name, self.strategy.name, sorted(self._clients), len(self.subscription_table)
+        )

@@ -1,0 +1,333 @@
+"""The client library (the paper's *local broker*).
+
+A :class:`Client` offers the four pub/sub primitives of Section 2.1 —
+``pub``, ``sub``, ``unsub`` and the ``notify`` callback — plus the two
+mobility-facing operations this reproduction adds on top:
+
+* :meth:`Client.move_to` — physical mobility: detach from the current
+  border broker (possibly much earlier, via :meth:`Client.detach`) and
+  re-attach at a new one.  The client automatically re-issues its
+  subscriptions together with the last received sequence numbers, which is
+  all the relocation protocol of Section 4 needs.  The *interface* of the
+  pub/sub system is unchanged, as the paper requires.
+* :meth:`Client.set_location` — logical mobility: declare the client's new
+  application-level location so that its location-dependent subscriptions
+  (Section 5) adapt automatically.
+
+The client records every delivered notification (with its delivery time
+and sequence number), which the QoS checkers and experiments consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.adaptivity import UncertaintyPlan
+from repro.core.location_filter import MYLOC, LocationDependentFilter
+from repro.core.ploc import MovementGraph
+from repro.filters.filter import Filter
+from repro.messages.notification import Notification
+
+
+@dataclass
+class ReceivedNotification:
+    """One notification as seen by the client (used by tests and experiments)."""
+
+    time: float
+    subscription_id: str
+    sequence: int
+    notification: Notification
+
+    @property
+    def identity(self) -> Tuple[str, int]:
+        """Global identity of the received notification."""
+        return self.notification.identity
+
+
+class ClientError(RuntimeError):
+    """Raised for invalid client operations (e.g. publishing while detached)."""
+
+
+class Client:
+    """A pub/sub client that may roam physically and/or logically."""
+
+    def __init__(
+        self,
+        client_id: str,
+        notify: Optional[Callable[[str, Notification, int], None]] = None,
+    ) -> None:
+        self.client_id = client_id
+        self._notify_callback = notify
+        self._broker: Optional[Any] = None  # the current border Broker
+
+        # Subscription bookkeeping (survives detach / re-attach).
+        self._subscriptions: Dict[str, Filter] = {}
+        self._logical_subscriptions: Dict[str, Dict[str, Any]] = {}
+        self._advertisements: Dict[str, Filter] = {}
+        self._last_sequence: Dict[str, int] = {}
+        # Subscriptions that have been registered with some border broker at
+        # least once; only those need the relocation protocol on move_to.
+        self._registered_once: set = set()
+
+        # Publishing state.
+        self._publish_seq = 0
+
+        # Everything ever delivered to this client, in delivery order.
+        self.received: List[ReceivedNotification] = []
+
+        # Logical location (``None`` until set_location is called).
+        self.current_location: Optional[str] = None
+
+        self._id_counter = 0
+
+    # ------------------------------------------------------------------
+    # Attachment / physical mobility
+    # ------------------------------------------------------------------
+    @property
+    def attached(self) -> bool:
+        """``True`` when the client currently has a border broker."""
+        return self._broker is not None
+
+    @property
+    def border_broker(self) -> Optional[Any]:
+        """The broker this client is attached to, or ``None``."""
+        return self._broker
+
+    def attach(self, broker: Any) -> None:
+        """Attach to *broker* for the first time (no relocation handling).
+
+        Existing subscriptions and advertisements are registered as plain
+        subscriptions; use :meth:`move_to` when the client has already
+        received notifications elsewhere and the relocation protocol should
+        run.
+        """
+        if self._broker is not None:
+            raise ClientError("client {} is already attached".format(self.client_id))
+        self._broker = broker
+        broker.attach_client(self)
+        for advertisement_id, filter_ in self._advertisements.items():
+            broker.client_advertise(self.client_id, advertisement_id, filter_)
+        for subscription_id, filter_ in self._subscriptions.items():
+            broker.client_subscribe(self.client_id, subscription_id, filter_)
+            self._registered_once.add(subscription_id)
+        for subscription_id, spec in self._logical_subscriptions.items():
+            broker.client_location_dependent_subscribe(
+                self.client_id,
+                subscription_id,
+                spec["filter"],
+                spec["graph"],
+                spec["plan"],
+                spec["location"],
+            )
+            self._registered_once.add(subscription_id)
+
+    def detach(self) -> None:
+        """Disconnect from the current border broker (power saving, out of range).
+
+        The border broker keeps a virtual counterpart for each subscription
+        so no matching notification is lost while the client is away.
+        """
+        if self._broker is None:
+            return
+        self._broker.detach_client(self.client_id)
+        self._broker = None
+
+    def move_to(self, broker: Any) -> None:
+        """Physically roam to a new border broker.
+
+        If still attached somewhere, the client first detaches (it may also
+        have detached long ago).  At the new broker every subscription is
+        re-issued together with its last received sequence number, which
+        triggers the relocation protocol of Section 4.
+        """
+        if self._broker is broker:
+            return
+        if self._broker is not None:
+            self.detach()
+        self._broker = broker
+        broker.attach_client(self)
+        for advertisement_id, filter_ in self._advertisements.items():
+            broker.client_advertise(self.client_id, advertisement_id, filter_)
+        for subscription_id, filter_ in self._subscriptions.items():
+            if subscription_id in self._registered_once:
+                broker.client_moved_subscribe(
+                    self.client_id,
+                    subscription_id,
+                    filter_,
+                    self._last_sequence.get(subscription_id, 0),
+                )
+            else:
+                # First ever registration: no old location exists, so a
+                # plain subscription suffices.
+                broker.client_subscribe(self.client_id, subscription_id, filter_)
+                self._registered_once.add(subscription_id)
+        for subscription_id, spec in self._logical_subscriptions.items():
+            # Logical subscriptions re-register from scratch at the new
+            # broker (combining both mobility forms is future work in the
+            # paper; re-registration is the conservative behaviour).
+            broker.client_location_dependent_subscribe(
+                self.client_id,
+                subscription_id,
+                spec["filter"],
+                spec["graph"],
+                spec["plan"],
+                spec["location"],
+            )
+            self._registered_once.add(subscription_id)
+
+    # ------------------------------------------------------------------
+    # The four pub/sub primitives
+    # ------------------------------------------------------------------
+    def subscribe(self, filter_: Any, subscription_id: Optional[str] = None) -> str:
+        """``sub``: register interest in notifications matching *filter_*.
+
+        *filter_* may be a :class:`~repro.filters.filter.Filter` or a plain
+        template mapping.  Returns the subscription identifier.
+        """
+        resolved = filter_ if isinstance(filter_, Filter) else Filter(filter_)
+        subscription_id = subscription_id or self._next_id("sub")
+        self._subscriptions[subscription_id] = resolved
+        self._last_sequence.setdefault(subscription_id, 0)
+        if self._broker is not None:
+            self._broker.client_subscribe(self.client_id, subscription_id, resolved)
+            self._registered_once.add(subscription_id)
+        return subscription_id
+
+    def unsubscribe(self, subscription_id: str) -> None:
+        """``unsub``: withdraw a subscription (plain or location-dependent)."""
+        self._subscriptions.pop(subscription_id, None)
+        self._logical_subscriptions.pop(subscription_id, None)
+        self._last_sequence.pop(subscription_id, None)
+        if self._broker is not None:
+            self._broker.client_unsubscribe(self.client_id, subscription_id)
+
+    def publish(self, attributes: Mapping[str, Any]) -> Notification:
+        """``pub``: inject a notification described by *attributes*."""
+        if self._broker is None:
+            raise ClientError("client {} cannot publish while detached".format(self.client_id))
+        self._publish_seq += 1
+        notification = Notification(
+            attributes=attributes,
+            publisher=self.client_id,
+            publisher_seq=self._publish_seq,
+            publish_time=self._broker.simulator.now,
+        )
+        self._broker.client_publish(self.client_id, notification)
+        return notification
+
+    def deliver(self, subscription_id: str, notification: Notification, sequence: int) -> None:
+        """``notify``: called by the border broker to deliver a notification."""
+        time = self._broker.simulator.now if self._broker is not None else 0.0
+        self.received.append(
+            ReceivedNotification(
+                time=time,
+                subscription_id=subscription_id,
+                sequence=sequence,
+                notification=notification,
+            )
+        )
+        previous = self._last_sequence.get(subscription_id, 0)
+        if sequence > previous:
+            self._last_sequence[subscription_id] = sequence
+        if self._notify_callback is not None:
+            self._notify_callback(subscription_id, notification, sequence)
+
+    # ------------------------------------------------------------------
+    # Advertisements
+    # ------------------------------------------------------------------
+    def advertise(self, filter_: Any, advertisement_id: Optional[str] = None) -> str:
+        """Announce the notifications this client is about to publish."""
+        resolved = filter_ if isinstance(filter_, Filter) else Filter(filter_)
+        advertisement_id = advertisement_id or self._next_id("adv")
+        self._advertisements[advertisement_id] = resolved
+        if self._broker is not None:
+            self._broker.client_advertise(self.client_id, advertisement_id, resolved)
+        return advertisement_id
+
+    def unadvertise(self, advertisement_id: str) -> None:
+        """Withdraw a previously issued advertisement."""
+        self._advertisements.pop(advertisement_id, None)
+        if self._broker is not None:
+            self._broker.client_unadvertise(self.client_id, advertisement_id)
+
+    # ------------------------------------------------------------------
+    # Logical mobility
+    # ------------------------------------------------------------------
+    def subscribe_location_dependent(
+        self,
+        template: Mapping[str, Any],
+        movement_graph: MovementGraph,
+        plan: UncertaintyPlan,
+        initial_location: str,
+        location_attribute: str = "location",
+        vicinity: int = 0,
+        subscription_id: Optional[str] = None,
+    ) -> str:
+        """Register a location-dependent subscription (``location ∈ myloc``).
+
+        *template* is an ordinary filter template; the location attribute
+        either carries the :data:`~repro.core.location_filter.MYLOC` marker
+        or is omitted and named via *location_attribute*.
+        """
+        location_filter = LocationDependentFilter(
+            template, location_attribute=location_attribute, vicinity=vicinity
+        )
+        subscription_id = subscription_id or self._next_id("locsub")
+        self._logical_subscriptions[subscription_id] = {
+            "filter": location_filter,
+            "graph": movement_graph,
+            "plan": plan,
+            "location": initial_location,
+        }
+        self._last_sequence.setdefault(subscription_id, 0)
+        self.current_location = initial_location
+        if self._broker is not None:
+            self._registered_once.add(subscription_id)
+            self._broker.client_location_dependent_subscribe(
+                self.client_id,
+                subscription_id,
+                location_filter,
+                movement_graph,
+                plan,
+                initial_location,
+            )
+        return subscription_id
+
+    def set_location(self, location: str) -> None:
+        """Declare a new application-level location (logical mobility)."""
+        self.current_location = location
+        for spec in self._logical_subscriptions.values():
+            spec["location"] = location
+        if self._broker is not None and self._logical_subscriptions:
+            self._broker.client_set_location(self.client_id, location)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def last_sequence(self, subscription_id: str) -> int:
+        """The highest delivery sequence number seen for a subscription."""
+        return self._last_sequence.get(subscription_id, 0)
+
+    def received_identities(self, subscription_id: Optional[str] = None) -> List[Tuple[str, int]]:
+        """Identities of all received notifications (optionally one subscription)."""
+        return [
+            record.identity
+            for record in self.received
+            if subscription_id is None or record.subscription_id == subscription_id
+        ]
+
+    def subscription_ids(self) -> List[str]:
+        """All active subscription identifiers (plain and location-dependent)."""
+        return sorted(list(self._subscriptions) + list(self._logical_subscriptions))
+
+    def _next_id(self, prefix: str) -> str:
+        self._id_counter += 1
+        return "{}-{}-{}".format(self.client_id, prefix, self._id_counter)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = self._broker.name if self._broker is not None else "<detached>"
+        return "Client({} @ {}, subs={}, received={})".format(
+            self.client_id, where, len(self._subscriptions) + len(self._logical_subscriptions),
+            len(self.received),
+        )

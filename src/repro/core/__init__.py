@@ -1,0 +1,50 @@
+"""The paper's primary contribution: mobility support for content-based pub/sub.
+
+* :mod:`repro.core.ploc` — movement graphs and the ``ploc(x, q)`` function
+  of possible future locations (Section 5.1, Equation 1, Table 1).
+* :mod:`repro.core.adaptivity` — per-hop uncertainty levels derived from
+  the client's dwell time Δ and the per-hop subscription processing delays
+  δᵢ (Section 5.3, Figure 8, Tables 3 and 4).
+* :mod:`repro.core.location_filter` — location-dependent filters with the
+  ``myloc`` marker (Section 3.3 / 5.1) and the subscription message that
+  carries them through the broker network.
+* :mod:`repro.core.logical` — the per-broker state and filter computations
+  of the logical-mobility scheme (Section 5).
+* :mod:`repro.core.physical` — the virtual counterpart and relocation
+  buffers of the physical-mobility relocation protocol (Section 4).
+
+The broker layer (:mod:`repro.broker`) wires these pieces into the message
+handling loop; everything in this package is plain, independently testable logic.
+"""
+
+from repro.core.ploc import MovementGraph, PlocFunction
+from repro.core.adaptivity import (
+    UncertaintyPlan,
+    adaptive_levels,
+    flooding_levels,
+    static_levels,
+    trivial_levels,
+)
+from repro.core.location_filter import (
+    MYLOC,
+    LocationDependentFilter,
+    LocationDependentSubscribe,
+)
+from repro.core.logical import LogicalSubscriptionState
+from repro.core.physical import RelocationBuffer, VirtualCounterpart
+
+__all__ = [
+    "MovementGraph",
+    "PlocFunction",
+    "UncertaintyPlan",
+    "static_levels",
+    "adaptive_levels",
+    "trivial_levels",
+    "flooding_levels",
+    "MYLOC",
+    "LocationDependentFilter",
+    "LocationDependentSubscribe",
+    "LogicalSubscriptionState",
+    "VirtualCounterpart",
+    "RelocationBuffer",
+]

@@ -1,0 +1,130 @@
+"""Dynamic (state-dependent) filters — the paper's future-work generalisation.
+
+Section 6: "location-dependent filters may be generalized to 'dynamic
+filters' that depend on a function of the local state of the client (not
+only its current location), like a client interested in receiving
+notifications for sales that he still can afford."
+
+A :class:`DynamicFilter` keeps a static base template plus one *dynamic
+constraint* derived from an application-defined client state through a
+*constraint function*.  The middleware treats it exactly like a
+location-dependent filter: the client's border broker holds the exact
+instantiation for client-side filtering, and — when the state space is
+equipped with an :class:`UncertaintyModel` describing how fast the state
+can change — upstream brokers can pre-subscribe to the set of states
+reachable within a number of "state steps", mirroring ``ploc``.
+
+The canonical example from the paper is reproduced in
+:class:`BudgetFilter`: a client with a budget ``b`` is interested in sales
+with ``price <= b``; the uncertainty model widens the bound by the maximum
+amount the budget can grow per step.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generic, Iterable, Mapping, Optional, Tuple, TypeVar
+
+from repro.filters.constraints import Constraint, LessEqual
+from repro.filters.filter import Filter
+
+State = TypeVar("State")
+
+
+class UncertaintyModel(Generic[State]):
+    """How far the client's state can drift within a number of steps.
+
+    ``widen(state, steps)`` must return a state whose derived constraint
+    *covers* the constraint of every state reachable from *state* within
+    *steps* steps — the analogue of Equation 1's monotonicity requirement
+    for ``ploc``.
+    """
+
+    def widen(self, state: State, steps: int) -> State:
+        """A state whose constraint covers all states reachable in *steps* steps."""
+        raise NotImplementedError
+
+
+class BoundedDriftModel(UncertaintyModel[float]):
+    """Numeric state that can change by at most ``max_drift`` per step."""
+
+    def __init__(self, max_drift: float) -> None:
+        if max_drift < 0:
+            raise ValueError("max_drift must be non-negative")
+        self.max_drift = float(max_drift)
+
+    def widen(self, state: float, steps: int) -> float:
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        return state + self.max_drift * steps
+
+
+class DynamicFilter(Generic[State]):
+    """A filter whose constraint on one attribute is a function of client state."""
+
+    def __init__(
+        self,
+        base_template: Mapping[str, Any],
+        attribute: str,
+        constraint_function: Callable[[State], Constraint],
+        uncertainty_model: Optional[UncertaintyModel[State]] = None,
+    ) -> None:
+        if attribute in base_template:
+            raise ValueError(
+                "the dynamic attribute {!r} must not also appear in the base template".format(
+                    attribute
+                )
+            )
+        self.base_filter = Filter(base_template)
+        self.attribute = attribute
+        self.constraint_function = constraint_function
+        self.uncertainty_model = uncertainty_model
+
+    def instantiate(self, state: State) -> Filter:
+        """The exact filter for the client's current *state* (hop-0 filtering)."""
+        return self.base_filter.with_constraint(self.attribute, self.constraint_function(state))
+
+    def instantiate_with_uncertainty(self, state: State, steps: int) -> Filter:
+        """The widened filter a broker *steps* hops upstream should register.
+
+        Without an uncertainty model the exact filter is returned (the
+        degenerate case corresponding to the trivial sub/unsub end point).
+        """
+        if self.uncertainty_model is None or steps <= 0:
+            return self.instantiate(state)
+        widened = self.uncertainty_model.widen(state, steps)
+        return self.base_filter.with_constraint(
+            self.attribute, self.constraint_function(widened)
+        )
+
+    def matches_at(self, attributes: Mapping[str, Any], state: State) -> bool:
+        """Evaluate the dynamic filter for a client in *state*."""
+        return self.instantiate(state).matches(attributes)
+
+    def chain(self, state: State, levels: Iterable[int]) -> Tuple[Filter, ...]:
+        """The per-hop filters for the given uncertainty *levels* (like Table 2)."""
+        return tuple(self.instantiate_with_uncertainty(state, level) for level in levels)
+
+
+class BudgetFilter(DynamicFilter[float]):
+    """The paper's example: "sales that he still can afford".
+
+    The dynamic attribute is the sale ``price``; the constraint is
+    ``price <= budget``; the uncertainty model assumes the budget can grow
+    by at most ``max_budget_growth`` per step (income arriving while the
+    subscription update is in flight), so upstream brokers subscribe to a
+    correspondingly higher price bound and the border broker filters
+    exactly.
+    """
+
+    def __init__(
+        self,
+        base_template: Mapping[str, Any],
+        max_budget_growth: float = 0.0,
+        price_attribute: str = "price",
+    ) -> None:
+        super().__init__(
+            base_template,
+            attribute=price_attribute,
+            constraint_function=lambda budget: LessEqual(budget),
+            uncertainty_model=BoundedDriftModel(max_budget_growth),
+        )

@@ -1,0 +1,202 @@
+"""Per-broker state of the logical-mobility scheme (Section 5).
+
+Every broker that participates in delivering a location-dependent
+subscription keeps one :class:`LogicalSubscriptionState` per subscription
+token.  The state knows the broker's hop distance from the consumer's
+border broker, the subscription's movement graph, uncertainty plan and
+current location, and from these derives
+
+* the *stored filter* the broker keeps in its routing table for the
+  downstream direction (``F_{hop}`` in the paper's notation), and
+* the *forwarded filter* the broker registers at the next hop toward the
+  producers (``F_{hop+1}``),
+
+so that the set-inclusion chain ``F_k ⊇ ... ⊇ F_1 ⊇ F_0`` of Section 5.1
+holds by construction (thanks to the monotonicity of ``ploc`` and the
+non-decreasing levels of the plan).
+
+On a location change the state computes which locations to subscribe to
+and which to unsubscribe from (the routing-table delta the paper describes
+as "removing certain locations and adding new locations").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.adaptivity import UncertaintyPlan
+from repro.core.location_filter import LocationDependentFilter
+from repro.core.ploc import Location, MovementGraph, PlocFunction
+from repro.filters.filter import Filter
+
+
+@dataclass
+class LocationChangeDelta:
+    """The effect of a location change at one hop.
+
+    ``added`` / ``removed`` are the location-set differences (what the
+    paper describes as subscribing / unsubscribing to individual
+    locations); ``changed`` is ``False`` when the hop's ``ploc`` set is
+    identical for the old and new location (e.g. because it already
+    saturates to the full location set), in which case a broker may choose
+    not to propagate the update any further.
+    """
+
+    old_filter: Filter
+    new_filter: Filter
+    added: FrozenSet[Location]
+    removed: FrozenSet[Location]
+
+    @property
+    def changed(self) -> bool:
+        """Whether the hop's concrete filter actually changed."""
+        return bool(self.added or self.removed)
+
+
+class LogicalSubscriptionState:
+    """State a broker keeps for one location-dependent subscription."""
+
+    def __init__(
+        self,
+        client_id: str,
+        subscription_id: str,
+        location_filter: LocationDependentFilter,
+        movement_graph: MovementGraph,
+        plan: UncertaintyPlan,
+        current_location: Location,
+        hop_index: int,
+    ) -> None:
+        self.client_id = client_id
+        self.subscription_id = subscription_id
+        self.location_filter = location_filter
+        self.movement_graph = movement_graph
+        self.plan = plan
+        self.current_location = current_location
+        self.hop_index = int(hop_index)
+        self._ploc = PlocFunction(movement_graph)
+
+    # -- identity -----------------------------------------------------------
+    @property
+    def token(self) -> str:
+        """The subscription token ``client/subscription`` used as routing subject."""
+        return "{}/{}".format(self.client_id, self.subscription_id)
+
+    # -- level / location-set computation -------------------------------------
+    def level(self) -> int:
+        """The uncertainty level this broker uses (plan level for its hop)."""
+        return self.plan.level_for_hop(self.hop_index)
+
+    def effective_steps(self) -> int:
+        """Level plus the subscription's vicinity widening (Section 3.3)."""
+        return self.level() + self.location_filter.vicinity
+
+    def location_set(self, location: Optional[Location] = None) -> FrozenSet[Location]:
+        """``ploc(location, level)`` for this hop (default: current location)."""
+        where = location if location is not None else self.current_location
+        return self._ploc(where, self.effective_steps())
+
+    def current_filter(self) -> Filter:
+        """The concrete filter this broker stores for the downstream direction."""
+        return self.location_filter.instantiate(self.location_set())
+
+    def filter_at(self, location: Location) -> Filter:
+        """The concrete filter this hop would store if the client were at *location*."""
+        return self.location_filter.instantiate(self.location_set(location))
+
+    def next_hop_filter(self) -> Filter:
+        """The filter to register at the next hop toward the producers."""
+        steps = self.plan.level_for_hop(self.hop_index + 1) + self.location_filter.vicinity
+        return self.location_filter.instantiate(
+            self._ploc(self.current_location, steps)
+        )
+
+    # -- location changes --------------------------------------------------------
+    def apply_location_change(self, new_location: Location) -> LocationChangeDelta:
+        """Move the subscription to *new_location* and report the filter delta."""
+        if new_location not in self.movement_graph:
+            raise ValueError(
+                "location {!r} is not part of the movement graph".format(new_location)
+            )
+        old_location = self.current_location
+        old_set = self.location_set(old_location)
+        new_set = self.location_set(new_location)
+        old_filter = self.location_filter.instantiate(old_set)
+        new_filter = self.location_filter.instantiate(new_set)
+        self.current_location = new_location
+        return LocationChangeDelta(
+            old_filter=old_filter,
+            new_filter=new_filter,
+            added=frozenset(new_set - old_set),
+            removed=frozenset(old_set - new_set),
+        )
+
+    # -- invariants -----------------------------------------------------------------
+    def chain_is_consistent(self, downstream: "LogicalSubscriptionState") -> bool:
+        """Check the set-inclusion property against the state one hop closer to the client.
+
+        ``downstream`` is the state at hop ``hop_index - 1``; the property
+        of Section 5.1 requires this broker's location set to be a superset
+        of the downstream one whenever both agree on the client's location.
+        """
+        if downstream.hop_index + 1 != self.hop_index:
+            return False
+        if downstream.current_location != self.current_location:
+            return True  # an update is still in flight; nothing to check yet
+        return self.location_set() >= downstream.location_set()
+
+    def describe(self) -> str:
+        """Human-readable rendering used by traces and experiment output."""
+        return (
+            "LogicalSubscriptionState(token={}, hop={}, level={}, loc={}, set={})".format(
+                self.token,
+                self.hop_index,
+                self.level(),
+                self.current_location,
+                sorted(self.location_set()),
+            )
+        )
+
+    def fork_for_next_hop(self) -> "LogicalSubscriptionState":
+        """The state a broker one hop further from the client would keep."""
+        return LogicalSubscriptionState(
+            client_id=self.client_id,
+            subscription_id=self.subscription_id,
+            location_filter=self.location_filter,
+            movement_graph=self.movement_graph,
+            plan=self.plan,
+            current_location=self.current_location,
+            hop_index=self.hop_index + 1,
+        )
+
+
+def filter_chain(
+    location_filter: LocationDependentFilter,
+    movement_graph: MovementGraph,
+    plan: UncertaintyPlan,
+    location: Location,
+    hops: int,
+) -> List[Filter]:
+    """The concrete filters F0 .. F_hops for a client at *location*.
+
+    This is the pure-function view of the scheme used by the Table 2 /
+    Table 4 experiments and by the property tests of the set-inclusion
+    chain; the broker network computes the same filters incrementally.
+    """
+    ploc = PlocFunction(movement_graph)
+    filters: List[Filter] = []
+    for hop in range(hops + 1):
+        steps = plan.level_for_hop(hop) + location_filter.vicinity
+        filters.append(location_filter.instantiate(ploc(location, steps)))
+    return filters
+
+
+def location_sets_chain(
+    movement_graph: MovementGraph,
+    plan: UncertaintyPlan,
+    location: Location,
+    hops: int,
+) -> List[FrozenSet[Location]]:
+    """The per-hop ``ploc`` sets (the raw content of Tables 2 and 4)."""
+    ploc = PlocFunction(movement_graph)
+    return [ploc(location, plan.level_for_hop(hop)) for hop in range(hops + 1)]

@@ -1,0 +1,214 @@
+"""State kept by border brokers for the physical-mobility protocol (Section 4).
+
+Two pieces of per-(client, subscription) state exist during a relocation:
+
+* :class:`VirtualCounterpart` — lives at the **old** border broker from the
+  moment the client disconnects.  It keeps the subscription active
+  ("maintain a 'virtual counterpart' of a roaming client at the last known
+  location"), buffers every matching notification with a continuing
+  delivery sequence number, and replays the buffered suffix greater than
+  the client's last acknowledged sequence number when the fetch request
+  arrives.
+
+* :class:`RelocationBuffer` — lives at the **new** border broker from the
+  moment the relocated client re-issues its subscription until the replay
+  has arrived.  It buffers notifications that already travel along the new
+  delivery path so that they can be delivered *after* the replayed ones,
+  preserving order, and suppresses duplicates by the notifications'
+  global identity.
+
+Both buffers are bounded; the paper notes that completeness holds "within
+the boundaries of time and/or space limitations of buffering approaches",
+and the overflow counters let experiments quantify exactly that boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.filters.filter import Filter
+from repro.messages.notification import Notification, SequencedNotification
+
+
+class BufferOverflowPolicy:
+    """How a bounded buffer behaves when full."""
+
+    DROP_OLDEST = "drop-oldest"
+    DROP_NEWEST = "drop-newest"
+
+    VALID = (DROP_OLDEST, DROP_NEWEST)
+
+
+class VirtualCounterpart:
+    """The virtual counterpart of a disconnected client at its old border broker."""
+
+    def __init__(
+        self,
+        client_id: str,
+        subscription_id: str,
+        filter_: Filter,
+        next_sequence: int,
+        max_buffer: Optional[int] = None,
+        overflow_policy: str = BufferOverflowPolicy.DROP_OLDEST,
+    ) -> None:
+        if overflow_policy not in BufferOverflowPolicy.VALID:
+            raise ValueError("unknown overflow policy: {!r}".format(overflow_policy))
+        self.client_id = client_id
+        self.subscription_id = subscription_id
+        self.filter = filter_
+        self._next_sequence = int(next_sequence)
+        self.max_buffer = max_buffer
+        self.overflow_policy = overflow_policy
+        self._buffer: List[SequencedNotification] = []
+        self.overflowed = 0
+        self.created_at: Optional[float] = None
+        self.fetched = False
+
+    @property
+    def token(self) -> str:
+        """The subscription token ``client/subscription``."""
+        return "{}/{}".format(self.client_id, self.subscription_id)
+
+    @property
+    def next_sequence(self) -> int:
+        """The sequence number the next buffered notification will receive."""
+        return self._next_sequence
+
+    def buffered_count(self) -> int:
+        """Number of notifications currently buffered."""
+        return len(self._buffer)
+
+    # -- buffering -----------------------------------------------------------
+    def buffer(self, notification: Notification) -> SequencedNotification:
+        """Buffer a matching notification, assigning the next sequence number."""
+        sequenced = SequencedNotification(
+            notification=notification,
+            client_id=self.client_id,
+            subscription_id=self.subscription_id,
+            sequence=self._next_sequence,
+        )
+        self._next_sequence += 1
+        self._buffer.append(sequenced)
+        if self.max_buffer is not None and len(self._buffer) > self.max_buffer:
+            self.overflowed += 1
+            if self.overflow_policy == BufferOverflowPolicy.DROP_OLDEST:
+                self._buffer.pop(0)
+            else:
+                self._buffer.pop()
+        return sequenced
+
+    # -- replay ----------------------------------------------------------------
+    def replay_after(self, last_sequence: int) -> List[SequencedNotification]:
+        """The buffered notifications with sequence numbers greater than *last_sequence*.
+
+        This is what the old border broker ships back in the
+        :class:`~repro.messages.mobility.Replay` message ("replays all
+        events buffered in the virtual counterpart of (C, F) beginning with
+        the sequence number initially given by C", Section 4.1).
+        """
+        self.fetched = True
+        return [s for s in self._buffer if s.sequence > last_sequence]
+
+    def drain(self) -> List[SequencedNotification]:
+        """Remove and return everything buffered (used at garbage collection)."""
+        drained = list(self._buffer)
+        self._buffer.clear()
+        return drained
+
+    def describe(self) -> str:
+        """Human-readable state summary used by traces."""
+        return "VirtualCounterpart(token={}, buffered={}, next_seq={}, overflowed={})".format(
+            self.token, len(self._buffer), self._next_sequence, self.overflowed
+        )
+
+
+class RelocationBuffer:
+    """Buffer at the new border broker while a relocation is in progress."""
+
+    def __init__(self, client_id: str, subscription_id: str, last_sequence: int) -> None:
+        self.client_id = client_id
+        self.subscription_id = subscription_id
+        self.last_sequence = int(last_sequence)
+        self._pending: List[Notification] = []
+        self._replayed: List[SequencedNotification] = []
+        self.replay_received = False
+        self.complete = False
+
+    @property
+    def token(self) -> str:
+        """The subscription token ``client/subscription``."""
+        return "{}/{}".format(self.client_id, self.subscription_id)
+
+    # -- new-path notifications --------------------------------------------------
+    def hold(self, notification: Notification) -> None:
+        """Buffer a notification that arrived over the new path during relocation."""
+        self._pending.append(notification)
+
+    def pending_count(self) -> int:
+        """Number of new-path notifications currently held back."""
+        return len(self._pending)
+
+    # -- replay handling ------------------------------------------------------------
+    def accept_replay(self, notifications: Sequence[SequencedNotification]) -> None:
+        """Record the replayed notifications received from the old border broker."""
+        self._replayed.extend(notifications)
+        self.replay_received = True
+
+    def flush(self) -> Tuple[List[SequencedNotification], List[Notification]]:
+        """Produce the final delivery order and clear the buffer.
+
+        Returns ``(replayed, fresh)`` where *replayed* are the old-path
+        notifications in their original sequence order and *fresh* are the
+        buffered new-path notifications with any duplicates of the replayed
+        ones removed ("delivers the old messages from B6 first before
+        delivering the 'new' messages from its own buffer to guarantee the
+        correct delivery order", Section 4.1).
+        """
+        self.complete = True
+        replayed = sorted(self._replayed, key=lambda s: s.sequence)
+        seen: Set[Tuple[str, int]] = {s.notification.identity for s in replayed}
+        fresh: List[Notification] = []
+        for notification in self._pending:
+            if notification.identity in seen:
+                continue
+            seen.add(notification.identity)
+            fresh.append(notification)
+        self._pending.clear()
+        self._replayed.clear()
+        return replayed, fresh
+
+    def describe(self) -> str:
+        """Human-readable state summary used by traces."""
+        return (
+            "RelocationBuffer(token={}, pending={}, replayed={}, replay_received={})".format(
+                self.token, len(self._pending), len(self._replayed), self.replay_received
+            )
+        )
+
+
+@dataclass
+class RelocationRecord:
+    """Bookkeeping entry describing one completed (or ongoing) relocation.
+
+    Collected by border brokers and reported by the relocation latency
+    benchmarks: when the client re-attached, when the replay arrived, how
+    many notifications were replayed and how many fresh ones were held
+    back.
+    """
+
+    client_id: str
+    subscription_id: str
+    old_border: Optional[str]
+    new_border: str
+    started_at: float
+    completed_at: Optional[float] = None
+    replayed: int = 0
+    fresh: int = 0
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Relocation latency (reattach to buffer flush), or ``None`` if ongoing."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at

@@ -1,0 +1,243 @@
+"""Movement graphs and the ``ploc`` function of possible future locations.
+
+Section 5.1 of the paper: the consumer's movement is restricted by a
+*movement graph* over the finite location set ``L`` (Figure 7); the
+function ``ploc : L x N -> 2^L`` maps a current location *x* and a number
+of movement steps *q* to the set of locations the consumer could possibly
+be in after *q* steps.  Because staying put is always a possible move,
+``ploc(x, q) ⊆ ploc(x, q + 1)`` (Equation 1) — the property the per-hop
+filter chain relies on.
+
+Table 1 of the paper lists ``ploc(x, t)`` for the four-node example graph;
+:meth:`PlocFunction.table` regenerates exactly that table.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+Location = str
+
+
+class MovementGraphError(ValueError):
+    """Raised for malformed movement graphs or unknown locations."""
+
+
+class MovementGraph:
+    """An undirected graph over locations defining one-step reachability.
+
+    One movement step of the consumer corresponds to moving along one edge
+    (or staying put — remaining at the current location is always
+    possible, per the paper).
+    """
+
+    def __init__(self, locations: Optional[Iterable[Location]] = None) -> None:
+        self._adjacency: Dict[Location, Set[Location]] = {}
+        if locations:
+            for location in locations:
+                self.add_location(location)
+
+    # -- construction ---------------------------------------------------------
+    def add_location(self, location: Location) -> None:
+        """Add a location node (idempotent)."""
+        if not isinstance(location, str) or not location:
+            raise MovementGraphError(
+                "locations must be non-empty strings: {!r}".format(location)
+            )
+        self._adjacency.setdefault(location, set())
+
+    def add_edge(self, left: Location, right: Location) -> None:
+        """Declare that a consumer can move between *left* and *right* in one step."""
+        if left == right:
+            raise MovementGraphError("self-edges are implicit (staying put is always allowed)")
+        self.add_location(left)
+        self.add_location(right)
+        self._adjacency[left].add(right)
+        self._adjacency[right].add(left)
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[Location, Location]],
+        extra_locations: Optional[Iterable[Location]] = None,
+    ) -> "MovementGraph":
+        """Build a movement graph from an edge list (plus isolated locations)."""
+        graph = cls(extra_locations)
+        for left, right in edges:
+            graph.add_edge(left, right)
+        return graph
+
+    @classmethod
+    def complete(cls, locations: Iterable[Location]) -> "MovementGraph":
+        """A complete graph: every location reachable from every other in one step."""
+        names = list(locations)
+        graph = cls(names)
+        for i, left in enumerate(names):
+            for right in names[i + 1 :]:
+                graph.add_edge(left, right)
+        return graph
+
+    @classmethod
+    def paper_example(cls) -> "MovementGraph":
+        """The four-node movement graph of Figure 7 (locations a, b, c, d).
+
+        Edges are chosen so that the resulting ``ploc`` values reproduce
+        Table 1 of the paper::
+
+            ploc(a, 1) = {a, b, c}   ploc(b, 1) = {a, b, d}
+            ploc(c, 1) = {a, c, d}   ploc(d, 1) = {b, c, d}
+
+        i.e. the 4-cycle a - b - d - c - a.
+        """
+        return cls.from_edges([("a", "b"), ("b", "d"), ("d", "c"), ("c", "a")])
+
+    @classmethod
+    def line(cls, locations: Sequence[Location]) -> "MovementGraph":
+        """A corridor / street: locations in a row, neighbours adjacent."""
+        names = list(locations)
+        if not names:
+            raise MovementGraphError("a line movement graph needs at least one location")
+        graph = cls(names)
+        for left, right in zip(names, names[1:]):
+            graph.add_edge(left, right)
+        return graph
+
+    @classmethod
+    def grid(cls, rows: int, columns: int, name_format: str = "r{row}c{col}") -> "MovementGraph":
+        """A rows x columns grid of locations (city blocks, building floors)."""
+        if rows < 1 or columns < 1:
+            raise MovementGraphError("grid dimensions must be positive")
+        graph = cls()
+        for row in range(rows):
+            for col in range(columns):
+                name = name_format.format(row=row, col=col)
+                graph.add_location(name)
+                if row > 0:
+                    graph.add_edge(name, name_format.format(row=row - 1, col=col))
+                if col > 0:
+                    graph.add_edge(name, name_format.format(row=row, col=col - 1))
+        return graph
+
+    # -- inspection -------------------------------------------------------------
+    def locations(self) -> List[Location]:
+        """All locations, sorted."""
+        return sorted(self._adjacency)
+
+    def neighbours(self, location: Location) -> List[Location]:
+        """Locations reachable from *location* in exactly one move (excluding itself)."""
+        self._require(location)
+        return sorted(self._adjacency[location])
+
+    def __contains__(self, location: Location) -> bool:
+        return location in self._adjacency
+
+    def __len__(self) -> int:
+        return len(self._adjacency)
+
+    def diameter(self) -> int:
+        """The largest number of steps needed between any two connected locations."""
+        best = 0
+        for location in self._adjacency:
+            depths = self._bfs_depths(location)
+            if depths:
+                best = max(best, max(depths.values()))
+        return best
+
+    def _require(self, location: Location) -> None:
+        if location not in self._adjacency:
+            raise MovementGraphError("unknown location: {!r}".format(location))
+
+    def _bfs_depths(self, source: Location) -> Dict[Location, int]:
+        depths = {source: 0}
+        frontier = deque([source])
+        while frontier:
+            current = frontier.popleft()
+            for neighbour in self._adjacency[current]:
+                if neighbour not in depths:
+                    depths[neighbour] = depths[current] + 1
+                    frontier.append(neighbour)
+        return depths
+
+    # -- ploc ---------------------------------------------------------------------
+    def reachable_within(self, location: Location, steps: int) -> FrozenSet[Location]:
+        """``ploc(location, steps)``: locations reachable in at most *steps* moves.
+
+        Staying put counts as a (trivial) move, so the result always
+        contains *location* and is monotone in *steps* (Equation 1 of the
+        paper).
+        """
+        self._require(location)
+        if steps < 0:
+            raise MovementGraphError("steps must be non-negative")
+        depths = self._bfs_depths(location)
+        return frozenset(loc for loc, depth in depths.items() if depth <= steps)
+
+
+class PlocFunction:
+    """The ``ploc`` function for one movement graph, with memoisation.
+
+    The per-hop filters of the logical-mobility scheme query
+    ``ploc(current_location, level)`` on every location change; caching the
+    BFS results keeps that cheap for the Figure 9 workloads.
+    """
+
+    def __init__(self, graph: MovementGraph) -> None:
+        self.graph = graph
+        self._cache: Dict[Tuple[Location, int], FrozenSet[Location]] = {}
+
+    def __call__(self, location: Location, steps: int) -> FrozenSet[Location]:
+        """``ploc(location, steps)`` as a frozen set of locations."""
+        key = (location, steps)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self.graph.reachable_within(location, steps)
+            self._cache[key] = cached
+        return cached
+
+    def saturation_level(self) -> int:
+        """The smallest q with ``ploc(x, q)`` equal for all connected x (the diameter)."""
+        return self.graph.diameter()
+
+    def table(self, max_steps: int) -> Dict[int, Dict[Location, FrozenSet[Location]]]:
+        """``ploc(x, t)`` for all locations and ``t = 0 .. max_steps``.
+
+        The returned mapping reproduces the layout of Table 1 in the paper:
+        outer key is the step count *t*, inner key the location *x*.
+        """
+        out: Dict[int, Dict[Location, FrozenSet[Location]]] = {}
+        for steps in range(max_steps + 1):
+            out[steps] = {
+                location: self(location, steps) for location in self.graph.locations()
+            }
+        return out
+
+    def is_monotone(self, max_steps: int) -> bool:
+        """Check Equation 1 (``ploc(x, q) ⊆ ploc(x, q+1)``) up to *max_steps*."""
+        for location in self.graph.locations():
+            previous: FrozenSet[Location] = frozenset()
+            for steps in range(max_steps + 1):
+                current = self(location, steps)
+                if not previous <= current:
+                    return False
+                previous = current
+        return True
+
+
+def format_ploc_table(
+    table: Mapping[int, Mapping[Location, FrozenSet[Location]]],
+    locations: Optional[Sequence[Location]] = None,
+) -> str:
+    """Render a ploc table as text in the style of the paper's Table 1."""
+    steps = sorted(table)
+    if locations is None:
+        first = table[steps[0]] if steps else {}
+        locations = sorted(first)
+    lines = ["t    " + "  ".join("x = {}".format(loc).ljust(18) for loc in locations)]
+    for step in steps:
+        row = ["{:<4d}".format(step)]
+        for location in locations:
+            members = ", ".join(sorted(table[step][location]))
+            row.append("{{{}}}".format(members).ljust(18))
+        lines.append("  ".join(row))
+    return "\n".join(lines)

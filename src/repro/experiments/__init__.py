@@ -1,0 +1,40 @@
+"""Reproduction of every table and figure of the paper's evaluation.
+
+Each module exposes a ``run(...)`` function returning a small result
+object with the regenerated rows / series and a ``format_text()`` helper
+that renders them the way the paper prints them.  ``repro.experiments.runner``
+runs everything and produces the content of ``EXPERIMENTS.md``.
+
+| Paper artefact | Module |
+|----------------|--------|
+| Table 1 (ploc values)                   | :mod:`repro.experiments.table1_ploc` |
+| Table 2 (per-hop filters)               | :mod:`repro.experiments.table2_filters` |
+| Table 3 (trivial / flooding end points) | :mod:`repro.experiments.table3_endpoints` |
+| Table 4 + Figure 8 (adaptive levels)    | :mod:`repro.experiments.table4_adaptive` |
+| Figure 2 (naive roaming anomalies)      | :mod:`repro.experiments.fig2_naive_roaming` |
+| Figure 3 (blackout periods)             | :mod:`repro.experiments.fig3_blackout` |
+| Figure 5 (relocation walk-through)      | :mod:`repro.experiments.fig5_relocation` |
+| Figure 9 (total message counts)         | :mod:`repro.experiments.fig9_message_counts` |
+"""
+
+from repro.experiments import (
+    fig2_naive_roaming,
+    fig3_blackout,
+    fig5_relocation,
+    fig9_message_counts,
+    table1_ploc,
+    table2_filters,
+    table3_endpoints,
+    table4_adaptive,
+)
+
+__all__ = [
+    "table1_ploc",
+    "table2_filters",
+    "table3_endpoints",
+    "table4_adaptive",
+    "fig2_naive_roaming",
+    "fig3_blackout",
+    "fig5_relocation",
+    "fig9_message_counts",
+]

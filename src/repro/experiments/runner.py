@@ -1,0 +1,120 @@
+"""Run every experiment and render an EXPERIMENTS-style report.
+
+``python -m repro.experiments.runner`` executes the reproduction of every
+table and figure and prints one section per artefact, including whether
+the regenerated values match the paper (for the exact tables) or show the
+expected qualitative shape (for the measured figures).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.experiments import (
+    fig2_naive_roaming,
+    fig3_blackout,
+    fig5_relocation,
+    fig9_message_counts,
+    table1_ploc,
+    table2_filters,
+    table3_endpoints,
+    table4_adaptive,
+)
+
+
+@dataclass
+class ExperimentOutcome:
+    """One executed experiment: its rendered output and pass/fail verdict."""
+
+    name: str
+    passed: bool
+    text: str
+
+
+def run_all(quick: bool = False) -> List[ExperimentOutcome]:
+    """Execute all experiments; *quick* shrinks the Figure 9 horizon."""
+    outcomes: List[ExperimentOutcome] = []
+
+    t1 = table1_ploc.run()
+    outcomes.append(ExperimentOutcome("Table 1 (ploc values)", t1.matches_paper, t1.format_text()))
+
+    t2 = table2_filters.run()
+    outcomes.append(
+        ExperimentOutcome(
+            "Table 2 (per-hop filters, a -> b -> d)",
+            t2.matches_paper and t2.implementation_agrees,
+            t2.format_text(),
+        )
+    )
+
+    t3 = table3_endpoints.run()
+    outcomes.append(
+        ExperimentOutcome("Table 3 (trivial / flooding end points)", t3.matches_paper, t3.format_text())
+    )
+
+    t4 = table4_adaptive.run()
+    outcomes.append(
+        ExperimentOutcome("Table 4 / Figure 8 (adaptive levels)", t4.matches_paper, t4.format_text())
+    )
+
+    f2 = fig2_naive_roaming.run()
+    outcomes.append(
+        ExperimentOutcome(
+            "Figure 2 (naive roaming anomalies)",
+            f2.naive_shows_anomalies and f2.protocol_exactly_once,
+            f2.format_text(),
+        )
+    )
+
+    f3 = fig3_blackout.run()
+    outcomes.append(
+        ExperimentOutcome("Figure 3 (blackout periods)", f3.shows_expected_shape, f3.format_text())
+    )
+
+    f5_single = fig5_relocation.run(producers=1)
+    f5_multi = fig5_relocation.run(producers=2)
+    outcomes.append(
+        ExperimentOutcome(
+            "Figure 5 (relocation walk-through)",
+            f5_single.all_guarantees_hold and f5_multi.all_guarantees_hold,
+            f5_single.format_text() + "\n\n" + f5_multi.format_text(),
+        )
+    )
+
+    config = fig9_message_counts.Fig9Config(horizon=30.0) if quick else fig9_message_counts.Fig9Config()
+    f9 = fig9_message_counts.run(config)
+    outcomes.append(
+        ExperimentOutcome("Figure 9 (total message counts)", f9.shows_expected_shape, f9.format_text())
+    )
+
+    return outcomes
+
+
+def format_report(outcomes: List[ExperimentOutcome]) -> str:
+    """Render all outcomes as a plain-text report."""
+    lines: List[str] = []
+    for outcome in outcomes:
+        status = "PASS" if outcome.passed else "FAIL"
+        lines.append("=" * 72)
+        lines.append("[{}] {}".format(status, outcome.name))
+        lines.append("-" * 72)
+        lines.append(outcome.text)
+        lines.append("")
+    passed = sum(1 for outcome in outcomes if outcome.passed)
+    lines.append("{} / {} experiments match the paper".format(passed, len(outcomes)))
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Command-line entry point."""
+    argv = argv if argv is not None else sys.argv[1:]
+    quick = "--quick" in argv
+    outcomes = run_all(quick=quick)
+    print(format_report(outcomes))
+    return 0 if all(outcome.passed for outcome in outcomes) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation helper
+    raise SystemExit(main())

@@ -1,0 +1,128 @@
+"""Attribute value model for notifications and constraints.
+
+The paper uses the "typically used name/value-pairs data model"
+(Section 2.1), e.g.::
+
+    (service = "parking"), (location = "100 Rebeca Drive"),
+    (cost < "3 EURO"), (car-type >= "compact")
+
+We support three value types: strings, numbers (int/float are treated as a
+single numeric type so that ``cost < 3`` matches ``cost = 2.5``), and
+booleans.  Values of different types never compare as ordered; equality
+across types is always ``False``.  This mirrors the behaviour of
+content-based systems such as Siena and Rebeca where a constraint on a
+string attribute simply does not match a numeric value.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple, Union
+
+#: The union of value types an attribute may carry.
+AttributeValue = Union[str, int, float, bool]
+
+#: Symbolic type tags used for cross-type comparisons.
+TYPE_STRING = "string"
+TYPE_NUMBER = "number"
+TYPE_BOOLEAN = "boolean"
+
+
+class AttributeTypeError(TypeError):
+    """Raised when a value cannot be used as a notification attribute."""
+
+
+def value_type_of(value: AttributeValue) -> str:
+    """Return the symbolic type tag for *value*.
+
+    Booleans are checked before numbers because ``bool`` is a subclass of
+    ``int`` in Python and we want ``True`` to be a boolean, not the
+    number 1.
+    """
+    if isinstance(value, bool):
+        return TYPE_BOOLEAN
+    if isinstance(value, (int, float)):
+        return TYPE_NUMBER
+    if isinstance(value, str):
+        return TYPE_STRING
+    raise AttributeTypeError(
+        "unsupported attribute value type: {!r} ({})".format(value, type(value).__name__)
+    )
+
+
+def coerce_value(value: Any) -> AttributeValue:
+    """Validate and return *value* as an attribute value.
+
+    Raises :class:`AttributeTypeError` for unsupported types.  ``None`` is
+    rejected: absent attributes are modelled by simply not including the
+    name in the notification.
+    """
+    value_type_of(value)  # raises on unsupported types
+    return value
+
+
+def comparable(left: AttributeValue, right: AttributeValue) -> bool:
+    """Return ``True`` when *left* and *right* can be ordered.
+
+    Two values are order-comparable when they have the same symbolic type
+    and that type has a total order (strings and numbers do, booleans only
+    support equality).
+    """
+    left_type = value_type_of(left)
+    right_type = value_type_of(right)
+    if left_type != right_type:
+        return False
+    return left_type in (TYPE_STRING, TYPE_NUMBER)
+
+
+def values_equal(left: AttributeValue, right: AttributeValue) -> bool:
+    """Type-aware equality: values of different symbolic types are unequal."""
+    if value_type_of(left) != value_type_of(right):
+        return False
+    return left == right
+
+
+def compare(left: AttributeValue, right: AttributeValue) -> int:
+    """Three-way comparison of two order-comparable values.
+
+    Returns a negative number, zero, or a positive number.  Raises
+    :class:`AttributeTypeError` when the values are not order-comparable;
+    callers that only need a boolean "does this match" answer should use
+    :func:`try_compare` instead.
+    """
+    if not comparable(left, right):
+        raise AttributeTypeError(
+            "values {!r} and {!r} are not order-comparable".format(left, right)
+        )
+    if left < right:  # type: ignore[operator]
+        return -1
+    if left > right:  # type: ignore[operator]
+        return 1
+    return 0
+
+
+def try_compare(left: AttributeValue, right: AttributeValue) -> Tuple[bool, int]:
+    """Comparison that never raises.
+
+    Returns ``(ok, sign)``; when ``ok`` is ``False`` the values are not
+    order-comparable and ``sign`` is meaningless.
+    """
+    if not comparable(left, right):
+        return False, 0
+    if left < right:  # type: ignore[operator]
+        return True, -1
+    if left > right:  # type: ignore[operator]
+        return True, 1
+    return True, 0
+
+
+def canonical_key(value: AttributeValue) -> Tuple[str, Any]:
+    """A hashable, type-tagged representation used for set membership.
+
+    Using the tag avoids ``1 == True`` and ``1 == 1.0`` collapsing values
+    of different symbolic types into one set element in a surprising way
+    (``1`` and ``1.0`` *are* the same number, so they share a key).
+    """
+    tag = value_type_of(value)
+    if tag == TYPE_NUMBER:
+        return (tag, float(value))
+    return (tag, value)

@@ -1,0 +1,144 @@
+"""Covering relation between filters.
+
+Covering-based routing (Section 2.2 of the paper) "tests whether a filter
+F1 accepts a superset of notifications of a second filter F2, and in this
+case replaces all occurrences of F2 assigned to the same link in the
+routing table".  This module provides the filter-level covering test on
+top of the constraint-level tests defined in
+:mod:`repro.filters.constraints`.
+
+Covering for conjunctive filters: ``F1 covers F2`` iff for every attribute
+constrained by ``F1`` there is a constraint in ``F2`` on the same
+attribute that is covered by ``F1``'s constraint.  Attributes constrained
+only by ``F2`` make ``F2`` more selective and therefore do not affect the
+result.  The test is sound and complete for this conjunctive model, up to
+the completeness of the pairwise constraint tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.filters.constraints import Constraint
+from repro.filters.filter import Filter, MatchAll, MatchNone
+
+
+def constraint_covers(covering: Constraint, covered: Constraint) -> bool:
+    """Constraint-level covering: does *covering* accept a superset of *covered*?"""
+    return covering.covers(covered)
+
+
+def filter_covers(covering: Filter, covered: Filter) -> bool:
+    """Return ``True`` when *covering* accepts a superset of *covered*.
+
+    ``MatchAll`` covers everything; ``MatchNone`` is covered by everything
+    and covers only ``MatchNone``.
+    """
+    if isinstance(covered, MatchNone):
+        return True
+    if isinstance(covering, MatchNone):
+        return False
+    if isinstance(covering, MatchAll) or covering.is_empty():
+        return True
+    if isinstance(covered, MatchAll) or covered.is_empty():
+        # A constrained filter can never cover the universal filter.
+        return False
+    for name, covering_constraint in covering:
+        covered_constraint = covered.constraint_for(name)
+        if covered_constraint is None:
+            # ``covered`` places no restriction on this attribute, so it
+            # accepts notifications (any value, or absent attribute) that
+            # ``covering`` would reject -- unless the covering constraint
+            # itself accepts everything.
+            if not covering_constraint.matches_absent():
+                return False
+            continue
+        if not covering_constraint.covers(covered_constraint):
+            return False
+    return True
+
+
+def filters_identical(left: Filter, right: Filter) -> bool:
+    """Exact structural identity of two filters (same canonical key)."""
+    return left.key() == right.key() and isinstance(left, MatchNone) == isinstance(
+        right, MatchNone
+    )
+
+
+def filters_overlap_hint(left: Filter, right: Filter) -> bool:
+    """A cheap, *incomplete* overlap test.
+
+    Returns ``False`` only when the two filters provably cannot both match
+    any notification (because they place incompatible equality/set
+    constraints on a shared attribute).  Returns ``True`` otherwise.  Used
+    by merging heuristics and diagnostics; never relied on for
+    correctness.
+    """
+    if isinstance(left, MatchNone) or isinstance(right, MatchNone):
+        return False
+    for name, left_constraint in left:
+        right_constraint = right.constraint_for(name)
+        if right_constraint is None:
+            continue
+        left_key = left_constraint.key()
+        right_key = right_constraint.key()
+        if left_key[0] == "eq" and right_key[0] == "eq" and left_key != right_key:
+            return False
+        if left_key[0] == "in" and right_key[0] == "in":
+            if not (set(left_key[1]) & set(right_key[1])):
+                return False
+        if left_key[0] == "eq" and right_key[0] == "in":
+            if left_key[1] not in set(right_key[1]):
+                return False
+        if left_key[0] == "in" and right_key[0] == "eq":
+            if right_key[1] not in set(left_key[1]):
+                return False
+    return True
+
+
+def find_cover(candidates: Iterable[Filter], target: Filter) -> Optional[Filter]:
+    """Return the first filter in *candidates* that covers *target*, if any."""
+    for candidate in candidates:
+        if filter_covers(candidate, target):
+            return candidate
+    return None
+
+
+def covered_by_any(candidates: Iterable[Filter], target: Filter) -> bool:
+    """``True`` when some filter in *candidates* covers *target*."""
+    return find_cover(candidates, target) is not None
+
+
+def remove_covered(filters: Sequence[Filter], cover: Filter) -> List[Filter]:
+    """Return *filters* with every filter covered by *cover* removed.
+
+    This is the routing-table maintenance primitive of covering-based
+    routing: when a new (covering) subscription arrives, existing entries
+    it covers on the same link become redundant.
+    """
+    return [f for f in filters if not filter_covers(cover, f)]
+
+
+def minimal_cover_set(filters: Sequence[Filter]) -> List[Filter]:
+    """Reduce a set of filters to a minimal subset with the same union.
+
+    A filter is dropped when another (distinct) filter in the set covers
+    it.  When two filters cover each other (they are equivalent), the one
+    appearing first is kept.  The result preserves input order.
+    """
+    kept: List[Filter] = []
+    for index, candidate in enumerate(filters):
+        redundant = False
+        for other_index, other in enumerate(filters):
+            if other_index == index:
+                continue
+            if filter_covers(other, candidate):
+                mutual = filter_covers(candidate, other)
+                if mutual and other_index > index:
+                    # Equivalent filters: keep the earlier one (candidate).
+                    continue
+                redundant = True
+                break
+        if not redundant:
+            kept.append(candidate)
+    return kept

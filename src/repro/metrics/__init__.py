@@ -1,0 +1,40 @@
+"""Measurement and quality-of-service checking.
+
+Everything here is a pure function over the
+:class:`~repro.sim.trace.TraceRecorder` records (and the clients' received
+lists), so measurements never interfere with the middleware under test.
+
+* :mod:`repro.metrics.qos` — the delivery guarantees of Section 4
+  (completeness, no duplicates, sender FIFO) and the epoch-based flooding
+  semantics of Figure 4 for logical mobility.
+* :mod:`repro.metrics.counters` — message counting per kind / link / time
+  window (the data behind Figure 9) and routing-table statistics.
+* :mod:`repro.metrics.blackout` — the blackout / starvation analysis of
+  Figure 3.
+"""
+
+from repro.metrics.qos import (
+    CompletenessReport,
+    DuplicateReport,
+    FifoReport,
+    check_completeness,
+    check_fifo,
+    check_no_duplicates,
+    expected_identities,
+)
+from repro.metrics.counters import MessageCounter, cumulative_message_series
+from repro.metrics.blackout import BlackoutReport, measure_blackout
+
+__all__ = [
+    "check_completeness",
+    "check_no_duplicates",
+    "check_fifo",
+    "expected_identities",
+    "CompletenessReport",
+    "DuplicateReport",
+    "FifoReport",
+    "MessageCounter",
+    "cumulative_message_series",
+    "BlackoutReport",
+    "measure_blackout",
+]

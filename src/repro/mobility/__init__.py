@@ -1,0 +1,41 @@
+"""Client movement models.
+
+The experiments need two kinds of movement:
+
+* **logical** movement through a movement graph (the consumer walks from
+  room to room / block to block with some dwell time Δ per location) —
+  :class:`~repro.mobility.itinerary.LogicalItinerary` and the random /
+  cyclic walk generators in :mod:`repro.mobility.models`;
+* **physical** roaming between border brokers with phases of
+  connectedness and disconnection (the "daily route between home and
+  office" of Section 3.2) — :class:`~repro.mobility.itinerary.RoamingItinerary`.
+
+Both are plain schedules that a driver replays against the simulator, so
+experiments stay deterministic and the same itinerary can be replayed
+against different middleware configurations (our algorithm vs. the
+baselines).
+"""
+
+from repro.mobility.itinerary import (
+    LogicalItinerary,
+    LogicalStep,
+    RoamingItinerary,
+    RoamingStep,
+)
+from repro.mobility.models import (
+    cyclic_walk,
+    random_walk,
+    shuttle_roaming,
+)
+from repro.mobility.driver import ItineraryDriver
+
+__all__ = [
+    "LogicalItinerary",
+    "LogicalStep",
+    "RoamingItinerary",
+    "RoamingStep",
+    "random_walk",
+    "cyclic_walk",
+    "shuttle_roaming",
+    "ItineraryDriver",
+]

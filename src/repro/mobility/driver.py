@@ -1,0 +1,88 @@
+"""Replaying itineraries against the simulator.
+
+The driver converts an itinerary into scheduled simulator events that call
+the corresponding client operations (``set_location`` for logical
+mobility, ``detach`` / ``move_to`` for physical roaming).  It also keeps
+the realised location timeline, which the epoch-based QoS checker needs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.broker.client import Client
+from repro.broker.network import PubSubNetwork
+from repro.mobility.itinerary import LogicalItinerary, RoamingItinerary, RoamingStep
+
+
+class ItineraryDriver:
+    """Schedules the movement of one client on the network's simulator."""
+
+    def __init__(self, network: PubSubNetwork, client: Client) -> None:
+        self.network = network
+        self.client = client
+        self.realised_locations: List[Tuple[float, str]] = []
+        self.realised_attachments: List[Tuple[float, Optional[str]]] = []
+
+    # -- logical mobility ---------------------------------------------------
+    def schedule_logical(self, itinerary: LogicalItinerary) -> None:
+        """Schedule the ``set_location`` calls of a logical itinerary.
+
+        The first step is applied immediately if its time is not in the
+        future (it usually describes the initial location the subscription
+        was issued with).
+        """
+        simulator = self.network.simulator
+        for step in itinerary.steps:
+            if step.time <= simulator.now:
+                self._apply_location(step.location)
+            else:
+                simulator.schedule_at(
+                    step.time,
+                    self._apply_location,
+                    step.location,
+                    label="set_location {}".format(step.location),
+                )
+
+    def _apply_location(self, location: str) -> None:
+        self.realised_locations.append((self.network.simulator.now, location))
+        if self.client.current_location != location or not self.realised_locations[:-1]:
+            self.client.set_location(location)
+
+    # -- physical mobility ----------------------------------------------------
+    def schedule_roaming(self, itinerary: RoamingItinerary) -> None:
+        """Schedule the detach / attach steps of a roaming itinerary."""
+        simulator = self.network.simulator
+        for step in itinerary.steps:
+            if step.action == RoamingStep.DETACH:
+                callback = self._apply_detach
+                args: Tuple[Any, ...] = ()
+                label = "detach {}".format(self.client.client_id)
+            else:
+                callback = self._apply_attach
+                args = (step.broker,)
+                label = "attach {} at {}".format(self.client.client_id, step.broker)
+            if step.time <= simulator.now:
+                callback(*args)
+            else:
+                simulator.schedule_at(step.time, callback, *args, label=label)
+
+    def _apply_detach(self) -> None:
+        self.client.detach()
+        self.realised_attachments.append((self.network.simulator.now, None))
+
+    def _apply_attach(self, broker_name: str) -> None:
+        broker = self.network.broker(broker_name)
+        # move_to handles both the very first attachment (plain
+        # subscriptions) and genuine relocations (moved subscriptions).
+        self.client.move_to(broker)
+        self.realised_attachments.append((self.network.simulator.now, broker_name))
+
+    # -- results ------------------------------------------------------------------
+    def location_timeline(self) -> List[Tuple[float, str]]:
+        """The realised ``(time, location)`` change points."""
+        return list(self.realised_locations)
+
+    def attachment_timeline(self) -> List[Tuple[float, Optional[str]]]:
+        """The realised ``(time, broker_or_None)`` attachment change points."""
+        return list(self.realised_attachments)

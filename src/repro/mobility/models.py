@@ -1,0 +1,107 @@
+"""Movement model generators.
+
+These helpers build itineraries from a movement graph (logical mobility)
+or a list of border brokers (physical roaming), using the seeded RNG so
+experiments stay reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.ploc import MovementGraph
+from repro.mobility.itinerary import LogicalItinerary, LogicalStep, RoamingItinerary
+from repro.sim.rng import DeterministicRandom
+
+
+def random_walk(
+    graph: MovementGraph,
+    start: str,
+    steps: int,
+    dwell_time: float,
+    rng: DeterministicRandom,
+    start_time: float = 0.0,
+    allow_staying: bool = True,
+) -> LogicalItinerary:
+    """A random walk over the movement graph with a fixed dwell time Δ.
+
+    Each step moves to a uniformly chosen neighbour (optionally the
+    current location itself).  This is the client behaviour assumed by the
+    Figure 9 evaluation ("average time a client remains at one location"
+    is exactly *dwell_time*).
+    """
+    if start not in graph:
+        raise ValueError("start location {!r} not in movement graph".format(start))
+    if steps < 0:
+        raise ValueError("steps must be non-negative")
+    if dwell_time <= 0:
+        raise ValueError("dwell time must be positive")
+    current = start
+    itinerary = [LogicalStep(time=start_time, location=current)]
+    for index in range(1, steps + 1):
+        options = list(graph.neighbours(current))
+        if allow_staying:
+            options.append(current)
+        if not options:
+            options = [current]
+        current = rng.choice(sorted(options))
+        itinerary.append(LogicalStep(time=start_time + index * dwell_time, location=current))
+    return LogicalItinerary(itinerary)
+
+
+def cyclic_walk(
+    locations: Sequence[str],
+    dwell_time: float,
+    cycles: int,
+    start_time: float = 0.0,
+) -> LogicalItinerary:
+    """Walk through *locations* in order, repeating *cycles* times.
+
+    Deterministic counterpart of :func:`random_walk`; used by the table
+    experiments (the paper's example itinerary a → b → d is one third of a
+    cycle through the Figure 7 graph).
+    """
+    if not locations:
+        raise ValueError("need at least one location")
+    if cycles < 1:
+        raise ValueError("cycles must be at least one")
+    if dwell_time <= 0:
+        raise ValueError("dwell time must be positive")
+    steps: List[LogicalStep] = []
+    index = 0
+    for _ in range(cycles):
+        for location in locations:
+            steps.append(LogicalStep(time=start_time + index * dwell_time, location=location))
+            index += 1
+    return LogicalItinerary(steps)
+
+
+def shuttle_roaming(
+    brokers: Sequence[str],
+    connected_time: float,
+    disconnected_time: float,
+    repetitions: int = 1,
+    start_time: float = 0.0,
+) -> RoamingItinerary:
+    """Physically roam through *brokers*, with connect / disconnect phases.
+
+    Models the "daily route between home and office" of Section 3.2: the
+    client is attached to each broker for *connected_time*, then
+    disconnected for *disconnected_time* while travelling to the next one.
+    The whole tour repeats *repetitions* times; the client stays attached
+    at the final broker.
+    """
+    if not brokers:
+        raise ValueError("need at least one broker")
+    if connected_time <= 0 or disconnected_time < 0:
+        raise ValueError("connected time must be positive and disconnected time non-negative")
+    visits = []
+    time = start_time
+    tour = list(brokers) * repetitions
+    for index, broker in enumerate(tour):
+        is_last = index == len(tour) - 1
+        detach_time = float("inf") if is_last else time + connected_time
+        visits.append((time, detach_time, broker))
+        if not is_last:
+            time = time + connected_time + disconnected_time
+    return RoamingItinerary.from_visits(visits)

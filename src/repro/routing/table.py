@@ -1,0 +1,191 @@
+"""The routing table data structure.
+
+A routing table stores entries ``(filter, destination, subjects)``:
+
+* ``filter`` — the subscription filter;
+* ``destination`` — the neighbour broker or local client the filter was
+  received from (notifications matching the filter are forwarded there);
+* ``subjects`` — the identifiers (client ids or downstream broker names)
+  on whose behalf the filter is registered.  Tracking subjects lets the
+  physical-mobility protocol find and remove exactly the entries belonging
+  to a relocated client without disturbing identical filters that other
+  clients registered.
+
+The same structure is reused for the advertisement table.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+from repro.filters.filter import Filter
+from repro.filters.matching import MatchingEngine
+
+
+@dataclass
+class RoutingEntry:
+    """One (filter, destination) routing-table row with its subject set."""
+
+    filter: Filter
+    destination: str
+    subjects: Set[str] = field(default_factory=set)
+
+    def describe(self) -> str:
+        """Human-readable rendering used in traces and debugging output."""
+        return "{} -> {} (for {})".format(self.filter, self.destination, sorted(self.subjects))
+
+
+class RoutingTable:
+    """Routing table: filters keyed by destination, indexed for matching."""
+
+    def __init__(self) -> None:
+        # (filter key, destination) -> entry
+        self._entries: Dict[Tuple[Any, str], RoutingEntry] = {}
+        # matching index: payload is the destination
+        self._index = MatchingEngine()
+        # destination -> set of filter keys
+        self._by_destination: Dict[str, Set[Any]] = defaultdict(set)
+
+    @staticmethod
+    def _filter_key(filter_: Filter) -> Any:
+        return (type(filter_).__name__ == "MatchNone", filter_.key())
+
+    # -- mutation ---------------------------------------------------------
+    def add(self, filter_: Filter, destination: str, subject: str) -> bool:
+        """Register *filter_* for *destination* on behalf of *subject*.
+
+        Returns ``True`` when a new (filter, destination) row was created.
+        """
+        key = (self._filter_key(filter_), destination)
+        entry = self._entries.get(key)
+        if entry is not None:
+            entry.subjects.add(subject)
+            return False
+        entry = RoutingEntry(filter=filter_, destination=destination, subjects={subject})
+        self._entries[key] = entry
+        self._index.add(filter_, destination)
+        self._by_destination[destination].add(self._filter_key(filter_))
+        return True
+
+    def remove(self, filter_: Filter, destination: str, subject: Optional[str] = None) -> bool:
+        """Remove *subject*'s registration of (filter, destination).
+
+        When *subject* is ``None`` the whole row is removed regardless of
+        its remaining subjects.  The row disappears once its subject set is
+        empty.  Returns ``True`` when the row was removed entirely.
+        """
+        key = (self._filter_key(filter_), destination)
+        entry = self._entries.get(key)
+        if entry is None:
+            return False
+        if subject is not None:
+            entry.subjects.discard(subject)
+            if entry.subjects:
+                return False
+        del self._entries[key]
+        self._index.remove(filter_, destination)
+        bucket = self._by_destination.get(destination)
+        if bucket is not None:
+            bucket.discard(self._filter_key(filter_))
+            if not bucket:
+                del self._by_destination[destination]
+        return True
+
+    def remove_subject(self, subject: str) -> List[RoutingEntry]:
+        """Remove *subject* from every row; return the rows that disappeared."""
+        removed: List[RoutingEntry] = []
+        for key in list(self._entries):
+            entry = self._entries[key]
+            if subject in entry.subjects:
+                entry.subjects.discard(subject)
+                if not entry.subjects:
+                    removed.append(entry)
+                    del self._entries[key]
+                    self._index.remove(entry.filter, entry.destination)
+                    bucket = self._by_destination.get(entry.destination)
+                    if bucket is not None:
+                        bucket.discard(self._filter_key(entry.filter))
+                        if not bucket:
+                            del self._by_destination[entry.destination]
+        return removed
+
+    def remove_destination(self, destination: str) -> List[RoutingEntry]:
+        """Remove every row pointing at *destination*; return the removed rows."""
+        removed: List[RoutingEntry] = []
+        for key in list(self._entries):
+            entry = self._entries[key]
+            if entry.destination == destination:
+                removed.append(entry)
+                del self._entries[key]
+                self._index.remove(entry.filter, entry.destination)
+        self._by_destination.pop(destination, None)
+        return removed
+
+    def clear(self) -> None:
+        """Remove every row."""
+        self._entries.clear()
+        self._index.clear()
+        self._by_destination.clear()
+
+    # -- queries -----------------------------------------------------------
+    def matching_destinations(self, attributes: Mapping[str, Any]) -> Set[str]:
+        """Destinations with at least one filter matching *attributes*."""
+        return {str(payload) for payload in self._index.matching_payloads(attributes)}
+
+    def matching_entries(self, attributes: Mapping[str, Any]) -> List[RoutingEntry]:
+        """All rows whose filter matches *attributes*."""
+        out: List[RoutingEntry] = []
+        for filter_, destinations in self._index.match(attributes):
+            for destination in destinations:
+                entry = self._entries.get((self._filter_key(filter_), str(destination)))
+                if entry is not None:
+                    out.append(entry)
+        return out
+
+    def entries(self) -> List[RoutingEntry]:
+        """All rows (copy of the list, entries shared)."""
+        return list(self._entries.values())
+
+    def entries_for_destination(self, destination: str) -> List[RoutingEntry]:
+        """All rows whose destination is *destination*."""
+        return [e for e in self._entries.values() if e.destination == destination]
+
+    def entries_for_subject(self, subject: str) -> List[RoutingEntry]:
+        """All rows registered on behalf of *subject*."""
+        return [e for e in self._entries.values() if subject in e.subjects]
+
+    def filters_except_destination(self, excluded: str) -> List[Filter]:
+        """Filters of all rows whose destination differs from *excluded*.
+
+        This is the input of the subscription-forwarding computation: the
+        filters a broker must make reachable through a given neighbour are
+        exactly those registered from *other* directions.
+        """
+        return [e.filter for e in self._entries.values() if e.destination != excluded]
+
+    def destinations(self) -> List[str]:
+        """All destinations that have at least one row, sorted."""
+        return sorted(self._by_destination)
+
+    def has_entry(self, filter_: Filter, destination: str) -> bool:
+        """``True`` when an exact (filter, destination) row exists."""
+        return (self._filter_key(filter_), destination) in self._entries
+
+    def find_entry(self, filter_: Filter, destination: str) -> Optional[RoutingEntry]:
+        """The exact (filter, destination) row, or ``None``."""
+        return self._entries.get((self._filter_key(filter_), destination))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[RoutingEntry]:
+        return iter(list(self._entries.values()))
+
+    def size_by_destination(self) -> Dict[str, int]:
+        """Number of rows per destination (used by the routing ablation bench)."""
+        counts: Dict[str, int] = defaultdict(int)
+        for entry in self._entries.values():
+            counts[entry.destination] += 1
+        return dict(counts)

@@ -1,0 +1,166 @@
+"""Simulated point-to-point links.
+
+The paper assumes "point-to-point, FIFO order communication links, e.g.,
+TCP connections, that are error-free, a common assumption that can be
+relieved later" (Section 2.1).  :class:`Link` implements exactly that —
+a unidirectional FIFO channel with a latency model — plus an optional
+:class:`FaultModel` used by robustness tests to "relieve" the error-free
+assumption (message drop and duplication injection).
+
+FIFO order is enforced even under a jittering latency model: a message
+never overtakes a previously sent one because the delivery time is clamped
+to be at least the delivery time of the link's previous message.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.messages.base import Message
+from repro.sim.engine import Simulator
+from repro.sim.rng import DeterministicRandom
+from repro.sim.trace import TraceRecorder
+
+
+class LatencyModel:
+    """Base class for per-message link latency."""
+
+    def sample(self) -> float:
+        """Return the latency (in simulated time units) of one message."""
+        raise NotImplementedError
+
+
+class FixedLatency(LatencyModel):
+    """Every message takes exactly ``delay`` time units."""
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ValueError("latency must be non-negative")
+        self.delay = float(delay)
+
+    def sample(self) -> float:
+        return self.delay
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "FixedLatency({})".format(self.delay)
+
+
+class UniformLatency(LatencyModel):
+    """Latency drawn uniformly from [low, high] using a seeded RNG."""
+
+    def __init__(self, low: float, high: float, rng: DeterministicRandom) -> None:
+        if low < 0 or high < low:
+            raise ValueError("require 0 <= low <= high")
+        self.low = float(low)
+        self.high = float(high)
+        self._rng = rng
+
+    def sample(self) -> float:
+        return self._rng.uniform(self.low, self.high)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "UniformLatency({}, {})".format(self.low, self.high)
+
+
+class FaultModel:
+    """Optional fault injection for robustness experiments.
+
+    *drop_probability* — probability that a message silently disappears.
+    *duplicate_probability* — probability that a message is delivered twice.
+
+    The default pub/sub and mobility experiments never use faults (the
+    paper's model is error-free); only the dedicated failure-injection
+    tests do.
+    """
+
+    def __init__(
+        self,
+        rng: DeterministicRandom,
+        drop_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
+    ) -> None:
+        if not (0.0 <= drop_probability <= 1.0 and 0.0 <= duplicate_probability <= 1.0):
+            raise ValueError("probabilities must lie in [0, 1]")
+        self._rng = rng
+        self.drop_probability = drop_probability
+        self.duplicate_probability = duplicate_probability
+
+    def should_drop(self) -> bool:
+        """Decide whether the next message is lost."""
+        return self.drop_probability > 0 and self._rng.random() < self.drop_probability
+
+    def should_duplicate(self) -> bool:
+        """Decide whether the next message is duplicated."""
+        return (
+            self.duplicate_probability > 0 and self._rng.random() < self.duplicate_probability
+        )
+
+
+class Link:
+    """A unidirectional FIFO link from *source* to *target*.
+
+    The *deliver* callback is invoked (via the simulator) with
+    ``(message, link)`` once the latency has elapsed.  Bidirectional
+    broker connections are modelled as a pair of links created by
+    :func:`connect`.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        source: str,
+        target: str,
+        deliver: Callable[[Message, "Link"], None],
+        latency: LatencyModel,
+        trace: Optional[TraceRecorder] = None,
+        fault_model: Optional[FaultModel] = None,
+    ) -> None:
+        self.simulator = simulator
+        self.source = source
+        self.target = target
+        self._deliver = deliver
+        self.latency = latency
+        self.trace = trace
+        self.fault_model = fault_model
+        self._last_delivery_time = simulator.now
+        self.sent_count = 0
+        self.delivered_count = 0
+        self.dropped_count = 0
+
+    @property
+    def name(self) -> str:
+        """Human-readable link identifier ``source->target``."""
+        return "{}->{}".format(self.source, self.target)
+
+    def send(self, message: Message) -> None:
+        """Queue *message* for delivery after the link latency.
+
+        The traversal is recorded in the trace at send time (this is what
+        the message-count experiments tally); dropped messages are still
+        counted as sent, matching how a real system would consume network
+        bandwidth before the loss.
+        """
+        self.sent_count += 1
+        if self.trace is not None:
+            self.trace.record_link(self.simulator.now, self.source, self.target, message)
+        if self.fault_model is not None and self.fault_model.should_drop():
+            self.dropped_count += 1
+            return
+        copies = 2 if (self.fault_model is not None and self.fault_model.should_duplicate()) else 1
+        for _ in range(copies):
+            delay = self.latency.sample()
+            delivery_time = max(self.simulator.now + delay, self._last_delivery_time)
+            self._last_delivery_time = delivery_time
+            self.simulator.schedule_at(
+                delivery_time,
+                self._on_deliver,
+                message,
+                label="deliver {} on {}".format(type(message).__name__, self.name),
+            )
+
+    def _on_deliver(self, message: Message) -> None:
+        self.delivered_count += 1
+        self._deliver(message, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "Link({})".format(self.name)

@@ -1,0 +1,26 @@
+"""Broker network topologies.
+
+The paper's communication topology "is given by a graph, which is assumed
+to be acyclic and connected" (Section 2.1).  This package provides a small
+graph abstraction, validation of the acyclic/connected requirements, and
+builders for the topologies used in examples, tests and experiments:
+lines (Figure 6), stars, balanced trees, and seeded random trees
+(Figure 1-like networks).
+"""
+
+from repro.topology.graph import BrokerGraph, TopologyError
+from repro.topology.builders import (
+    balanced_tree_topology,
+    line_topology,
+    random_tree_topology,
+    star_topology,
+)
+
+__all__ = [
+    "BrokerGraph",
+    "TopologyError",
+    "line_topology",
+    "star_topology",
+    "balanced_tree_topology",
+    "random_tree_topology",
+]

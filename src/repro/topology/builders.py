@@ -1,0 +1,102 @@
+"""Topology builders for common broker-network shapes."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sim.rng import DeterministicRandom
+from repro.topology.graph import BrokerGraph, TopologyError
+
+
+def _broker_name(prefix: str, index: int) -> str:
+    return "{}{}".format(prefix, index)
+
+
+def line_topology(length: int, prefix: str = "B") -> BrokerGraph:
+    """A chain of *length* brokers B1 - B2 - ... - Bn.
+
+    This is the network setting of Figure 6 in the paper (producer at one
+    end, consumer at the other) and the canonical setup of the
+    logical-mobility experiments.
+    """
+    if length < 1:
+        raise TopologyError("a line topology needs at least one broker")
+    graph = BrokerGraph()
+    graph.add_broker(_broker_name(prefix, 1))
+    for index in range(2, length + 1):
+        graph.add_edge(_broker_name(prefix, index - 1), _broker_name(prefix, index))
+    graph.validate()
+    return graph
+
+
+def star_topology(leaves: int, prefix: str = "B", hub: Optional[str] = None) -> BrokerGraph:
+    """One hub broker connected to *leaves* border brokers."""
+    if leaves < 1:
+        raise TopologyError("a star topology needs at least one leaf")
+    hub_name = hub or _broker_name(prefix, 0)
+    graph = BrokerGraph()
+    for index in range(1, leaves + 1):
+        graph.add_edge(hub_name, _broker_name(prefix, index))
+    graph.validate()
+    return graph
+
+
+def balanced_tree_topology(depth: int, fanout: int, prefix: str = "B") -> BrokerGraph:
+    """A balanced tree of the given depth and fanout.
+
+    Depth 0 is a single broker; depth ``d`` adds ``fanout`` children to
+    every broker at depth ``d - 1``.  The resulting leaf brokers are the
+    natural border brokers of larger experiments (Figure 1-like networks).
+    """
+    if depth < 0:
+        raise TopologyError("depth must be non-negative")
+    if fanout < 1:
+        raise TopologyError("fanout must be at least one")
+    graph = BrokerGraph()
+    root = _broker_name(prefix, 1)
+    graph.add_broker(root)
+    current_level: List[str] = [root]
+    next_index = 2
+    for _ in range(depth):
+        next_level: List[str] = []
+        for parent in current_level:
+            for _ in range(fanout):
+                child = _broker_name(prefix, next_index)
+                next_index += 1
+                graph.add_edge(parent, child)
+                next_level.append(child)
+        current_level = next_level
+    graph.validate()
+    return graph
+
+
+def random_tree_topology(
+    size: int, rng: DeterministicRandom, prefix: str = "B", max_degree: Optional[int] = None
+) -> BrokerGraph:
+    """A uniformly grown random tree of *size* brokers.
+
+    Each new broker attaches to a uniformly chosen existing broker (subject
+    to the optional *max_degree* cap), giving networks similar to the
+    irregular router network sketched in the paper's Figure 1.
+    """
+    if size < 1:
+        raise TopologyError("a random tree needs at least one broker")
+    graph = BrokerGraph()
+    names = [_broker_name(prefix, index) for index in range(1, size + 1)]
+    graph.add_broker(names[0])
+    for index in range(1, size):
+        candidates = [
+            name
+            for name in names[:index]
+            if max_degree is None or graph.degree(name) < max_degree
+        ]
+        if not candidates:
+            raise TopologyError(
+                "cannot grow random tree: degree cap {} too small for size {}".format(
+                    max_degree, size
+                )
+            )
+        parent = rng.choice(candidates)
+        graph.add_edge(parent, names[index])
+    graph.validate()
+    return graph

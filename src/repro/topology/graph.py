@@ -1,0 +1,162 @@
+"""Broker graph abstraction and validation."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+
+class TopologyError(ValueError):
+    """Raised when a broker graph violates the paper's assumptions."""
+
+
+class BrokerGraph:
+    """An undirected graph of broker identifiers.
+
+    The pub/sub model requires the graph to be **acyclic and connected**
+    (i.e. a tree); :meth:`validate` enforces this.  The graph only stores
+    names — the :mod:`repro.broker.network` module instantiates the actual
+    broker processes and links from it.
+    """
+
+    def __init__(self) -> None:
+        self._adjacency: Dict[str, Set[str]] = {}
+
+    # -- construction -------------------------------------------------------
+    def add_broker(self, name: str) -> None:
+        """Add a broker node (idempotent)."""
+        if not isinstance(name, str) or not name:
+            raise TopologyError("broker names must be non-empty strings: {!r}".format(name))
+        self._adjacency.setdefault(name, set())
+
+    def add_edge(self, left: str, right: str) -> None:
+        """Add an undirected broker-to-broker connection."""
+        if left == right:
+            raise TopologyError("self-loops are not allowed: {}".format(left))
+        self.add_broker(left)
+        self.add_broker(right)
+        self._adjacency[left].add(right)
+        self._adjacency[right].add(left)
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[Tuple[str, str]]) -> "BrokerGraph":
+        """Build a graph from an iterable of (left, right) pairs."""
+        graph = cls()
+        for left, right in edges:
+            graph.add_edge(left, right)
+        return graph
+
+    # -- inspection -----------------------------------------------------------
+    def brokers(self) -> List[str]:
+        """All broker names, sorted."""
+        return sorted(self._adjacency)
+
+    def edges(self) -> List[Tuple[str, str]]:
+        """All undirected edges as sorted (left, right) pairs, sorted."""
+        seen: Set[Tuple[str, str]] = set()
+        for left, neighbours in self._adjacency.items():
+            for right in neighbours:
+                seen.add(tuple(sorted((left, right))))  # type: ignore[arg-type]
+        return sorted(seen)
+
+    def neighbours(self, name: str) -> List[str]:
+        """Neighbouring broker names, sorted."""
+        if name not in self._adjacency:
+            raise TopologyError("unknown broker: {}".format(name))
+        return sorted(self._adjacency[name])
+
+    def degree(self, name: str) -> int:
+        """Number of neighbours of *name*."""
+        return len(self._adjacency.get(name, ()))
+
+    def __len__(self) -> int:
+        return len(self._adjacency)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._adjacency
+
+    # -- validation ----------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`TopologyError` unless the graph is a non-empty tree."""
+        if not self._adjacency:
+            raise TopologyError("broker graph is empty")
+        names = self.brokers()
+        edge_count = len(self.edges())
+        if edge_count != len(names) - 1:
+            raise TopologyError(
+                "broker graph must be acyclic and connected (a tree): "
+                "{} brokers need {} edges, found {}".format(
+                    len(names), len(names) - 1, edge_count
+                )
+            )
+        if not self.is_connected():
+            raise TopologyError("broker graph is not connected")
+
+    def is_connected(self) -> bool:
+        """``True`` when every broker is reachable from every other."""
+        if not self._adjacency:
+            return False
+        start = next(iter(self._adjacency))
+        seen = {start}
+        frontier = deque([start])
+        while frontier:
+            current = frontier.popleft()
+            for neighbour in self._adjacency[current]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        return len(seen) == len(self._adjacency)
+
+    # -- path queries -----------------------------------------------------------
+    def path(self, source: str, target: str) -> List[str]:
+        """The unique path between two brokers (inclusive of both ends)."""
+        if source not in self._adjacency or target not in self._adjacency:
+            raise TopologyError("unknown broker in path query")
+        if source == target:
+            return [source]
+        parents: Dict[str, Optional[str]] = {source: None}
+        frontier = deque([source])
+        while frontier:
+            current = frontier.popleft()
+            for neighbour in sorted(self._adjacency[current]):
+                if neighbour not in parents:
+                    parents[neighbour] = current
+                    if neighbour == target:
+                        frontier.clear()
+                        break
+                    frontier.append(neighbour)
+        if target not in parents:
+            raise TopologyError("no path between {} and {}".format(source, target))
+        path: List[str] = [target]
+        while parents[path[-1]] is not None:
+            path.append(parents[path[-1]])  # type: ignore[arg-type]
+        path.reverse()
+        return path
+
+    def distance(self, source: str, target: str) -> int:
+        """Hop count between two brokers."""
+        return len(self.path(source, target)) - 1
+
+    def leaves(self) -> List[str]:
+        """Brokers with exactly one neighbour (candidates for border brokers)."""
+        return sorted(name for name in self._adjacency if len(self._adjacency[name]) == 1)
+
+    def diameter(self) -> int:
+        """The longest shortest-path (in hops) between any two brokers."""
+        names = self.brokers()
+        best = 0
+        for source in names:
+            depths = self._bfs_depths(source)
+            best = max(best, max(depths.values()))
+        return best
+
+    def _bfs_depths(self, source: str) -> Dict[str, int]:
+        depths = {source: 0}
+        frontier = deque([source])
+        while frontier:
+            current = frontier.popleft()
+            for neighbour in self._adjacency[current]:
+                if neighbour not in depths:
+                    depths[neighbour] = depths[current] + 1
+                    frontier.append(neighbour)
+        return depths

@@ -1,0 +1,33 @@
+"""Workload generation.
+
+The paper's evaluation assumptions (Section 5.4 / Figure 9) are simple:
+producers publish notifications whose location attribute is drawn
+uniformly from the location set, at a fixed aggregate rate, and exactly
+one consumer moves.  :mod:`repro.workload.generators` implements that
+workload plus a few richer ones (bursty publishing, per-location hot
+spots) used by additional tests, and :mod:`repro.workload.scenarios`
+builds the complete example scenes (parking guidance, smart building,
+stock monitoring) that the examples and integration tests share.
+"""
+
+from repro.workload.generators import (
+    NotificationGenerator,
+    PoissonPublisher,
+    UniformLocationPublisher,
+    publish_schedule,
+)
+from repro.workload.scenarios import (
+    ParkingScenario,
+    SmartBuildingScenario,
+    StockTickerScenario,
+)
+
+__all__ = [
+    "NotificationGenerator",
+    "UniformLocationPublisher",
+    "PoissonPublisher",
+    "publish_schedule",
+    "ParkingScenario",
+    "SmartBuildingScenario",
+    "StockTickerScenario",
+]

@@ -1,0 +1,279 @@
+"""Complete example scenarios shared by examples, tests and experiments.
+
+Each scenario bundles a broker topology, producers with advertisements, a
+mobile consumer and a workload.  The three scenarios mirror the
+motivating applications of the paper's introduction:
+
+* :class:`ParkingScenario` — a car looking for "a free parking space in
+  the vicinity of its current location" (logical mobility,
+  location-dependent subscription over a street grid).
+* :class:`SmartBuildingScenario` — a user walking through a building who
+  only wants notifications for the room they are currently in (logical
+  mobility over a room graph served by a single border broker).
+* :class:`StockTickerScenario` — "stock quote monitoring seamlessly
+  transferred from PCs to PDAs" (physical mobility: the consumer roams
+  between border brokers, disconnecting in between).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.broker.client import Client
+from repro.broker.network import PubSubNetwork
+from repro.core.adaptivity import UncertaintyPlan
+from repro.core.location_filter import MYLOC
+from repro.core.ploc import MovementGraph
+from repro.mobility.driver import ItineraryDriver
+from repro.mobility.itinerary import LogicalItinerary, RoamingItinerary
+from repro.mobility.models import random_walk, shuttle_roaming
+from repro.sim.rng import DeterministicRandom
+from repro.topology.builders import balanced_tree_topology, line_topology, star_topology
+from repro.workload.generators import UniformLocationPublisher, publish_schedule
+
+
+@dataclass
+class ScenarioResult:
+    """Everything a test or example needs to inspect after running a scenario."""
+
+    network: PubSubNetwork
+    consumer: Client
+    producers: List[Client]
+    subscription_id: str
+    driver: Optional[ItineraryDriver] = None
+    extra: Dict[str, object] = field(default_factory=dict)
+
+
+class ParkingScenario:
+    """Parking guidance over a street grid (logical mobility).
+
+    Streets are modelled as a grid movement graph; parking sensors are
+    producers attached to a broker tree; the car subscribes to free
+    parking spaces with ``location ∈ myloc`` and drives along the grid.
+    """
+
+    def __init__(
+        self,
+        grid_rows: int = 3,
+        grid_columns: int = 3,
+        dwell_time: float = 5.0,
+        publish_rate: float = 4.0,
+        horizon: float = 60.0,
+        seed: int = 7,
+        strategy: str = "covering",
+        plan: Optional[UncertaintyPlan] = None,
+    ) -> None:
+        self.grid_rows = grid_rows
+        self.grid_columns = grid_columns
+        self.dwell_time = dwell_time
+        self.publish_rate = publish_rate
+        self.horizon = horizon
+        self.seed = seed
+        self.strategy = strategy
+        self.plan = plan
+
+    def build(self) -> ScenarioResult:
+        """Assemble the network, clients and schedules (but do not run)."""
+        rng = DeterministicRandom(self.seed)
+        streets = MovementGraph.grid(self.grid_rows, self.grid_columns, name_format="block-{row}-{col}")
+        locations = streets.locations()
+
+        topology = line_topology(4)
+        network = PubSubNetwork(topology, strategy=self.strategy, latency=0.02)
+
+        sensor = network.add_client("parking-sensors", "B4")
+        sensor.advertise({"service": "parking"})
+
+        car = network.add_client("car", "B1")
+        plan = self.plan or UncertaintyPlan.adaptive(
+            dwell_time=self.dwell_time, hop_delays=[0.02, 0.02, 0.02]
+        )
+        start_location = locations[0]
+        subscription_id = car.subscribe_location_dependent(
+            {"service": "parking", "location": MYLOC},
+            movement_graph=streets,
+            plan=plan,
+            initial_location=start_location,
+        )
+
+        itinerary = random_walk(
+            streets,
+            start=start_location,
+            steps=int(self.horizon / self.dwell_time),
+            dwell_time=self.dwell_time,
+            rng=rng.fork(1),
+        )
+        driver = ItineraryDriver(network, car)
+        driver.schedule_logical(itinerary)
+
+        generator = UniformLocationPublisher(
+            locations=locations,
+            rate=self.publish_rate,
+            rng=rng.fork(2),
+            base_attributes={"service": "parking", "cost": 2},
+        )
+        generator.drive(network, sensor, start=0.5, end=self.horizon)
+
+        return ScenarioResult(
+            network=network,
+            consumer=car,
+            producers=[sensor],
+            subscription_id=subscription_id,
+            driver=driver,
+            extra={"movement_graph": streets, "itinerary": itinerary, "plan": plan},
+        )
+
+    def run(self) -> ScenarioResult:
+        """Build and run the scenario to completion."""
+        result = self.build()
+        result.network.run_until(self.horizon + 5.0)
+        result.network.settle()
+        return result
+
+
+class SmartBuildingScenario:
+    """Room-level notifications in a building served by one border broker."""
+
+    def __init__(
+        self,
+        rooms: Sequence[str] = ("lobby", "office", "lab", "meeting-room", "kitchen"),
+        dwell_time: float = 10.0,
+        publish_rate: float = 2.0,
+        horizon: float = 80.0,
+        seed: int = 11,
+        strategy: str = "covering",
+    ) -> None:
+        self.rooms = list(rooms)
+        self.dwell_time = dwell_time
+        self.publish_rate = publish_rate
+        self.horizon = horizon
+        self.seed = seed
+        self.strategy = strategy
+
+    def build(self) -> ScenarioResult:
+        rng = DeterministicRandom(self.seed)
+        building = MovementGraph.line(self.rooms)
+
+        topology = star_topology(3, hub="hub")
+        network = PubSubNetwork(topology, strategy=self.strategy, latency=0.01)
+
+        facility = network.add_client("facility-sensors", "B2")
+        facility.advertise({"category": "facility"})
+
+        visitor = network.add_client("visitor", "B1")
+        plan = UncertaintyPlan.adaptive(dwell_time=self.dwell_time, hop_delays=[0.01, 0.01])
+        subscription_id = visitor.subscribe_location_dependent(
+            {"category": "facility", "location": MYLOC},
+            movement_graph=building,
+            plan=plan,
+            initial_location=self.rooms[0],
+        )
+
+        itinerary = random_walk(
+            building,
+            start=self.rooms[0],
+            steps=int(self.horizon / self.dwell_time),
+            dwell_time=self.dwell_time,
+            rng=rng.fork(1),
+        )
+        driver = ItineraryDriver(network, visitor)
+        driver.schedule_logical(itinerary)
+
+        generator = UniformLocationPublisher(
+            locations=self.rooms,
+            rate=self.publish_rate,
+            rng=rng.fork(2),
+            base_attributes={"category": "facility", "kind": "temperature"},
+        )
+        generator.drive(network, facility, start=0.5, end=self.horizon)
+
+        return ScenarioResult(
+            network=network,
+            consumer=visitor,
+            producers=[facility],
+            subscription_id=subscription_id,
+            driver=driver,
+            extra={"movement_graph": building, "itinerary": itinerary, "plan": plan},
+        )
+
+    def run(self) -> ScenarioResult:
+        result = self.build()
+        result.network.run_until(self.horizon + 5.0)
+        result.network.settle()
+        return result
+
+
+class StockTickerScenario:
+    """Stock quote monitoring carried across border brokers (physical mobility)."""
+
+    def __init__(
+        self,
+        symbols: Sequence[str] = ("REBECA", "SIENA", "ELVIN", "JEDI"),
+        publish_rate: float = 5.0,
+        connected_time: float = 8.0,
+        disconnected_time: float = 4.0,
+        horizon: float = 60.0,
+        seed: int = 23,
+        strategy: str = "covering",
+        watched_symbol: str = "REBECA",
+    ) -> None:
+        self.symbols = list(symbols)
+        self.publish_rate = publish_rate
+        self.connected_time = connected_time
+        self.disconnected_time = disconnected_time
+        self.horizon = horizon
+        self.seed = seed
+        self.strategy = strategy
+        self.watched_symbol = watched_symbol
+
+    def build(self) -> ScenarioResult:
+        rng = DeterministicRandom(self.seed)
+        topology = balanced_tree_topology(depth=2, fanout=2)
+        network = PubSubNetwork(topology, strategy=self.strategy, latency=0.03)
+        border_brokers = topology.leaves()
+
+        exchange = network.add_client("exchange", border_brokers[0])
+        exchange.advertise({"type": "quote"})
+
+        trader = Client("trader")
+        trader.subscribe({"type": "quote", "symbol": self.watched_symbol})
+        roaming_brokers = border_brokers[1:] or border_brokers
+        itinerary = shuttle_roaming(
+            roaming_brokers,
+            connected_time=self.connected_time,
+            disconnected_time=self.disconnected_time,
+            repetitions=max(1, int(self.horizon / ((self.connected_time + self.disconnected_time) * len(roaming_brokers)))),
+        )
+        driver = ItineraryDriver(network, trader)
+        driver.schedule_roaming(itinerary)
+        network.clients[trader.client_id] = trader
+
+        symbol_rng = rng.fork(2)
+
+        def quote_attributes(index: int, generator_rng: DeterministicRandom) -> Dict[str, object]:
+            return {
+                "type": "quote",
+                "symbol": symbol_rng.choice(self.symbols),
+                "price": round(50 + generator_rng.uniform(-5, 5), 2),
+            }
+
+        from repro.workload.generators import PoissonPublisher
+
+        generator = PoissonPublisher(rate=self.publish_rate, rng=rng.fork(3), attribute_factory=quote_attributes)
+        generator.drive(network, exchange, start=0.5, end=self.horizon)
+
+        return ScenarioResult(
+            network=network,
+            consumer=trader,
+            producers=[exchange],
+            subscription_id=trader.subscription_ids()[0],
+            driver=driver,
+            extra={"itinerary": itinerary, "symbols": self.symbols},
+        )
+
+    def run(self) -> ScenarioResult:
+        result = self.build()
+        result.network.run_until(self.horizon + 10.0)
+        result.network.settle()
+        return result

@@ -1,0 +1,139 @@
+"""Tests for the baseline behaviours the paper argues against."""
+
+import pytest
+
+from repro.baselines.endpoints import flooding_endpoint_plan, global_subunsub_plan
+from repro.baselines.flooding_client_filter import FloodingLocationConsumer
+from repro.baselines.naive_roaming import NaiveRoamingClient
+from repro.baselines.resubscribe import ResubscribingLocationConsumer
+from repro.broker.network import PubSubNetwork
+from repro.core.ploc import MovementGraph
+from repro.topology.builders import line_topology
+
+
+class TestNaiveRoaming:
+    def test_abrupt_leave_loses_notifications(self):
+        """Notifications arriving at the old broker while the client is away are lost."""
+        network = PubSubNetwork(line_topology(3), strategy="flooding", latency=0.05)
+        producer = network.add_client("producer", "B1")
+        roamer = NaiveRoamingClient("roamer", {"type": "alert"})
+        roamer.arrive(network.broker("B3"))
+        network.settle()
+        roamer.leave()
+        producer.publish({"type": "alert"})
+        network.settle()
+        roamer.arrive(network.broker("B2"))
+        network.settle()
+        assert roamer.received_identities() == []
+
+    def test_duplicate_when_overtaking_the_wave(self):
+        network = PubSubNetwork(line_topology(5), strategy="flooding", latency=0.2)
+        producer = network.add_client("producer", "B1")
+        roamer = NaiveRoamingClient("roamer", {"type": "alert"})
+        roamer.arrive(network.broker("B2"))
+        network.settle()
+        publish_time = network.now
+        producer.publish({"type": "alert"})
+        network.run_until(publish_time + 0.3)  # delivered at B2, not yet at B5
+        roamer.leave()
+        roamer.arrive(network.broker("B5"))
+        network.settle()
+        assert len(roamer.duplicate_identities()) == 1
+
+    def test_polite_variant_unsubscribes(self):
+        network = PubSubNetwork(line_topology(2), strategy="covering", latency=0.01)
+        producer = network.add_client("producer", "B2")
+        producer.advertise({"type": "alert"})
+        roamer = NaiveRoamingClient("roamer", {"type": "alert"}, variant=NaiveRoamingClient.POLITE)
+        roamer.arrive(network.broker("B1"))
+        network.settle()
+        roamer.leave()
+        network.settle()
+        assert network.broker("B1").routing_table_size() == 0
+
+    def test_invalid_variant_rejected(self):
+        with pytest.raises(ValueError):
+            NaiveRoamingClient("roamer", {"a": 1}, variant="magic")
+
+
+class TestResubscribeBaseline:
+    def test_blackout_loses_notifications_after_location_change(self):
+        network = PubSubNetwork(line_topology(4), strategy="simple", latency=0.5)
+        producer = network.add_client("producer", "B4")
+        producer.advertise({"service": "demo"})
+        consumer = ResubscribingLocationConsumer("consumer", {"service": "demo"})
+        consumer.attach(network.broker("B1"))
+        network.settle()
+        consumer.set_location("room-1")
+        # Published right after the change: the subscription has not reached
+        # the producer's broker yet, so these are lost.
+        producer.publish({"service": "demo", "location": "room-1"})
+        network.run_until(network.now + 0.4)
+        producer.publish({"service": "demo", "location": "room-1"})
+        network.settle()
+        assert consumer.received_identities() == []
+        # Much later publications are delivered.
+        producer.publish({"service": "demo", "location": "room-1"})
+        network.settle()
+        assert len(consumer.received_identities()) == 1
+
+    def test_old_location_unsubscribed(self):
+        network = PubSubNetwork(line_topology(2), strategy="simple", latency=0.01)
+        producer = network.add_client("producer", "B2")
+        producer.advertise({"service": "demo"})
+        consumer = ResubscribingLocationConsumer("consumer", {"service": "demo"})
+        consumer.attach(network.broker("B1"))
+        consumer.set_location("room-1")
+        network.settle()
+        consumer.set_location("room-2")
+        network.settle()
+        producer.publish({"service": "demo", "location": "room-1"})
+        producer.publish({"service": "demo", "location": "room-2"})
+        network.settle()
+        assert len(consumer.received_identities()) == 1
+        assert consumer.subscription_history[-1][1] == "room-2"
+
+    def test_requires_attachment(self):
+        consumer = ResubscribingLocationConsumer("consumer", {"service": "demo"})
+        with pytest.raises(RuntimeError):
+            consumer.set_location("room-1")
+
+
+class TestFloodingBaseline:
+    def test_no_blackout_on_location_change(self):
+        network = PubSubNetwork(line_topology(4), strategy="flooding", latency=0.5)
+        producer = network.add_client("producer", "B4")
+        rooms = MovementGraph.line(["room-0", "room-1"])
+        consumer = FloodingLocationConsumer(
+            "consumer", {"service": "demo"}, movement_graph=rooms, initial_location="room-0"
+        )
+        consumer.attach(network.broker("B1"))
+        network.settle()
+        # Published before the location change but still in flight: delivered
+        # after the change because flooding brought it to the local broker.
+        producer.publish({"service": "demo", "location": "room-1"})
+        network.run_until(network.now + 0.6)
+        consumer.set_location("room-1")
+        network.settle()
+        assert len(consumer.received_identities()) == 1
+
+    def test_client_side_filtering_still_applies(self):
+        network = PubSubNetwork(line_topology(2), strategy="flooding", latency=0.01)
+        producer = network.add_client("producer", "B2")
+        rooms = MovementGraph.line(["room-0", "room-1"])
+        consumer = FloodingLocationConsumer(
+            "consumer", {"service": "demo"}, movement_graph=rooms, initial_location="room-0"
+        )
+        consumer.attach(network.broker("B1"))
+        network.settle()
+        producer.publish({"service": "demo", "location": "room-1"})
+        producer.publish({"service": "demo", "location": "room-0"})
+        network.settle()
+        assert len(consumer.received_identities()) == 1
+
+
+class TestEndpointPlans:
+    def test_plans_match_table3(self):
+        graph = MovementGraph.paper_example()
+        assert global_subunsub_plan(3).levels == [0, 1, 1, 1]
+        assert flooding_endpoint_plan(3, graph).levels == [0, 2, 2, 2]

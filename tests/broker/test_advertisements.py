@@ -1,0 +1,92 @@
+"""Tests for advertisement handling and advertisement-restricted forwarding."""
+
+import pytest
+
+from repro.broker.base import BrokerConfig
+from repro.broker.network import PubSubNetwork
+from repro.topology.builders import line_topology, star_topology
+
+
+class TestAdvertisementPropagation:
+    def test_advertisements_reach_all_brokers(self):
+        network = PubSubNetwork(line_topology(4), strategy="covering", latency=0.01)
+        producer = network.add_client("producer", "B1")
+        producer.advertise({"topic": "news"})
+        network.settle()
+        for name in ("B2", "B3", "B4"):
+            assert len(network.broker(name).advertisement_table) >= 1
+
+    def test_unadvertise_cleans_up(self):
+        network = PubSubNetwork(line_topology(3), strategy="covering", latency=0.01)
+        producer = network.add_client("producer", "B1")
+        advertisement = producer.advertise({"topic": "news"})
+        network.settle()
+        producer.unadvertise(advertisement)
+        network.settle()
+        for name in ("B2", "B3"):
+            assert len(network.broker(name).advertisement_table) == 0
+
+    def test_subscription_issued_before_advertisement_still_connects(self):
+        """Late advertisements trigger forwarding of already-registered subscriptions."""
+        network = PubSubNetwork(line_topology(4), strategy="covering", latency=0.05)
+        consumer = network.add_client("consumer", "B1")
+        consumer.subscribe({"topic": "news"})
+        network.settle()
+        # Producer appears only afterwards.
+        producer = network.add_client("producer", "B4")
+        producer.advertise({"topic": "news"})
+        network.settle()
+        producer.publish({"topic": "news", "index": 1})
+        network.settle()
+        assert len(consumer.received) == 1
+
+
+class TestAdvertisementRestrictedForwarding:
+    def test_subscriptions_only_flow_toward_matching_advertisers(self):
+        """With advertisements on, branches without matching producers never
+        see the subscription."""
+        network = PubSubNetwork(star_topology(3, hub="hub"), strategy="covering", latency=0.01)
+        producer = network.add_client("producer", "B1")
+        producer.advertise({"topic": "news"})
+        bystander_broker = "B3"
+        consumer = network.add_client("consumer", "B2")
+        consumer.subscribe({"topic": "news"})
+        network.settle()
+        # The hub must forward the subscription toward B1 (the advertiser)
+        # but not toward B3 (no matching advertisement from there).
+        hub = network.broker("hub")
+        assert hub.forwarded_subscription_count("B1") == 1
+        assert hub.forwarded_subscription_count(bystander_broker) == 0
+
+    def test_without_advertisements_subscriptions_flood(self):
+        config = BrokerConfig(use_advertisements=False)
+        network = PubSubNetwork(
+            star_topology(3, hub="hub"), strategy="covering", latency=0.01, config=config
+        )
+        consumer = network.add_client("consumer", "B2")
+        consumer.subscribe({"topic": "news"})
+        network.settle()
+        hub = network.broker("hub")
+        assert hub.forwarded_subscription_count("B1") == 1
+        assert hub.forwarded_subscription_count("B3") == 1
+
+    def test_delivery_works_without_advertisements(self):
+        config = BrokerConfig(use_advertisements=False)
+        network = PubSubNetwork(line_topology(3), strategy="covering", latency=0.01, config=config)
+        producer = network.add_client("producer", "B3")
+        consumer = network.add_client("consumer", "B1")
+        consumer.subscribe({"topic": "news"})
+        network.settle()
+        producer.publish({"topic": "news"})
+        network.settle()
+        assert len(consumer.received) == 1
+
+    def test_unrelated_advertisement_does_not_open_a_path(self):
+        network = PubSubNetwork(star_topology(3, hub="hub"), strategy="covering", latency=0.01)
+        noise_producer = network.add_client("noise", "B3")
+        noise_producer.advertise({"topic": "weather"})
+        consumer = network.add_client("consumer", "B2")
+        consumer.subscribe({"topic": "news"})
+        network.settle()
+        hub = network.broker("hub")
+        assert hub.forwarded_subscription_count("B3") == 0

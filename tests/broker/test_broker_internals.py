@@ -1,0 +1,199 @@
+"""White-box tests of broker internals: forwarding refresh, junction
+ detection, counterpart handling and introspection helpers."""
+
+import pytest
+
+from repro.broker.base import Broker, BrokerConfig, subscription_token
+from repro.broker.network import PubSubNetwork
+from repro.filters.filter import Filter
+from repro.messages.admin import Subscribe, Unsubscribe
+from repro.messages.base import MessageKind
+from repro.topology.builders import line_topology, star_topology
+
+
+def admin_messages_on(network, source, target, message_type=None):
+    records = [
+        r
+        for r in network.trace.link_records
+        if r.source == source and r.target == target and r.kind != MessageKind.NOTIFICATION
+    ]
+    if message_type is not None:
+        records = [r for r in records if r.message_type == message_type]
+    return records
+
+
+class TestForwardingRefresh:
+    def test_duplicate_subscription_not_forwarded_twice(self):
+        network = PubSubNetwork(line_topology(3), strategy="covering", latency=0.01)
+        producer = network.add_client("P", "B3")
+        producer.advertise({"topic": "news"})
+        consumer = network.add_client("C", "B1")
+        sub_id = consumer.subscribe({"topic": "news"})
+        network.settle()
+        count_before = len(admin_messages_on(network, "B1", "B2", "Subscribe"))
+        # Re-registering the identical filter for the same subscription is
+        # a no-op at the forwarding layer.
+        network.broker("B1").client_subscribe("C", sub_id, Filter({"topic": "news"}))
+        network.settle()
+        count_after = len(admin_messages_on(network, "B1", "B2", "Subscribe"))
+        assert count_after == count_before
+
+    def test_covering_suppresses_narrower_forward(self):
+        """A second, narrower subscription is not forwarded separately under
+        covering routing."""
+        network = PubSubNetwork(line_topology(3), strategy="covering", latency=0.01)
+        producer = network.add_client("P", "B3")
+        producer.advertise({"topic": "news"})
+        consumer = network.add_client("C", "B1")
+        consumer.subscribe({"topic": "news"})
+        network.settle()
+        forwarded_before = network.broker("B1").forwarded_subscription_count("B2")
+        consumer.subscribe({"topic": "news", "priority": (">", 5)})
+        network.settle()
+        forwarded_after = network.broker("B1").forwarded_subscription_count("B2")
+        # The wider filter covers the narrower one, so the narrower
+        # subscription is forwarded under the covering filter: one pair per
+        # subject, but both map to the same (covering) filter.
+        b2_entries = network.broker("B2").subscription_table.entries_for_destination("B1")
+        distinct_filters = {entry.filter.key() for entry in b2_entries}
+        assert len(distinct_filters) == 1
+        assert forwarded_after >= forwarded_before
+
+    def test_simple_routing_forwards_both_filters(self):
+        network = PubSubNetwork(line_topology(3), strategy="simple", latency=0.01)
+        producer = network.add_client("P", "B3")
+        producer.advertise({"topic": "news"})
+        consumer = network.add_client("C", "B1")
+        consumer.subscribe({"topic": "news"})
+        consumer.subscribe({"topic": "news", "priority": (">", 5)})
+        network.settle()
+        b2_entries = network.broker("B2").subscription_table.entries_for_destination("B1")
+        distinct_filters = {entry.filter.key() for entry in b2_entries}
+        assert len(distinct_filters) == 2
+
+    def test_unsubscribe_propagates_upstream(self):
+        network = PubSubNetwork(line_topology(3), strategy="covering", latency=0.01)
+        producer = network.add_client("P", "B3")
+        producer.advertise({"topic": "news"})
+        consumer = network.add_client("C", "B1")
+        sub_id = consumer.subscribe({"topic": "news"})
+        network.settle()
+        consumer.unsubscribe(sub_id)
+        network.settle()
+        assert len(admin_messages_on(network, "B1", "B2", "Unsubscribe")) == 1
+        assert len(admin_messages_on(network, "B2", "B3", "Unsubscribe")) == 1
+        assert network.broker("B3").routing_table_size() == 0
+
+    def test_flooding_never_forwards_subscriptions(self):
+        network = PubSubNetwork(line_topology(3), strategy="flooding", latency=0.01)
+        consumer = network.add_client("C", "B1")
+        consumer.subscribe({"topic": "news"})
+        network.settle()
+        assert admin_messages_on(network, "B1", "B2") == []
+
+
+class TestJunctionAndCounterparts:
+    def test_counterpart_created_per_subscription(self):
+        network = PubSubNetwork(line_topology(2), strategy="covering", latency=0.01)
+        producer = network.add_client("P", "B2")
+        producer.advertise({"topic": "news"})
+        consumer = network.add_client("C", "B1")
+        first = consumer.subscribe({"topic": "news"})
+        second = consumer.subscribe({"topic": "sports"})
+        network.settle()
+        consumer.detach()
+        broker = network.broker("B1")
+        assert broker.counterpart_for("C", first) is not None
+        assert broker.counterpart_for("C", second) is not None
+
+    def test_detach_without_counterpart_drops_notifications(self):
+        network = PubSubNetwork(line_topology(2), strategy="covering", latency=0.01)
+        producer = network.add_client("P", "B2")
+        producer.advertise({"topic": "news"})
+        consumer = network.add_client("C", "B1")
+        consumer.subscribe({"topic": "news"})
+        network.settle()
+        network.broker("B1").detach_client("C", keep_counterpart=False)
+        producer.publish({"topic": "news"})
+        network.settle()
+        assert consumer.received == []
+        assert not network.broker("B1").has_counterparts()
+
+    def test_junction_is_detected_where_new_path_meets_old_tree(self):
+        """With the producer at B3, the old delivery tree is B3-B4-B5-B6; the
+        MovedSubscribe from B1 travels toward the advertiser and first meets
+        that tree at B3, which therefore acts as the junction."""
+        network = PubSubNetwork(line_topology(6), strategy="covering", latency=0.01)
+        producer = network.add_client("P", "B3")
+        producer.advertise({"topic": "news"})
+        consumer = network.add_client("C", "B6")
+        consumer.subscribe({"topic": "news"})
+        network.settle()
+        consumer.detach()
+        network.settle()
+        consumer.move_to(network.broker("B1"))
+        network.settle()
+        # Exactly one fetch request was sent, by the junction broker B3.
+        fetch_senders = [
+            name
+            for name, broker in network.brokers.items()
+            if broker.counters["fetch_requests_sent"] > 0
+        ]
+        assert fetch_senders == ["B3"]
+
+    def test_relocation_records_capture_latency(self):
+        network = PubSubNetwork(line_topology(4), strategy="covering", latency=0.05)
+        producer = network.add_client("P", "B4")
+        producer.advertise({"topic": "news"})
+        consumer = network.add_client("C", "B3")
+        consumer.subscribe({"topic": "news"})
+        network.settle()
+        consumer.detach()
+        producer.publish({"topic": "news"})
+        network.settle()
+        consumer.move_to(network.broker("B1"))
+        network.settle()
+        records = network.broker("B1").relocation_records
+        assert len(records) == 1
+        assert records[0].completed_at is not None
+        assert records[0].replayed == 1
+        assert records[0].old_border == "B3"
+
+
+class TestBrokerGuards:
+    def test_operations_on_unattached_client_rejected(self):
+        from repro.messages.notification import Notification
+
+        network = PubSubNetwork(line_topology(2), strategy="covering", latency=0.01)
+        broker = network.broker("B1")
+        with pytest.raises(ValueError):
+            broker.client_subscribe("ghost", "sub", Filter({"a": 1}))
+        with pytest.raises(ValueError):
+            broker.client_publish("ghost", Notification({"a": 1}, "ghost", 1))
+
+    def test_unknown_message_type_rejected(self):
+        network = PubSubNetwork(line_topology(2), strategy="covering", latency=0.01)
+        broker = network.broker("B1")
+        with pytest.raises(TypeError):
+            broker._dispatch(object(), from_destination="B2")  # type: ignore[arg-type]
+
+    def test_link_source_must_match_broker(self):
+        network = PubSubNetwork(line_topology(2), strategy="covering", latency=0.01)
+        broker = network.broker("B1")
+        foreign_link = network.links[("B2", "B1")]
+        with pytest.raises(ValueError):
+            broker.add_link(foreign_link)
+
+    def test_client_name_collision_with_broker_rejected(self):
+        network = PubSubNetwork(line_topology(2), strategy="covering", latency=0.01)
+        with pytest.raises(ValueError):
+            network.add_client("B1", "B2")
+
+    def test_subscription_token_format(self):
+        assert subscription_token("car", "sub-1") == "car/sub-1"
+
+    def test_is_border_broker(self):
+        network = PubSubNetwork(line_topology(3), strategy="covering", latency=0.01)
+        network.add_client("C", "B1")
+        assert network.broker("B1").is_border_broker()
+        assert not network.broker("B2").is_border_broker()

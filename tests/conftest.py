@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.broker.network import PubSubNetwork
+from repro.core.ploc import MovementGraph
+from repro.sim.rng import DeterministicRandom
+from repro.topology.builders import line_topology
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG with a fixed seed."""
+    return DeterministicRandom(1234)
+
+
+@pytest.fixture
+def paper_movement_graph():
+    """The four-location movement graph of Figure 7."""
+    return MovementGraph.paper_example()
+
+
+@pytest.fixture
+def line4_network():
+    """A four-broker line network with covering routing (50 ms links)."""
+    return PubSubNetwork(line_topology(4), strategy="covering", latency=0.05)
+
+
+@pytest.fixture
+def flooding_line4_network():
+    """A four-broker line network with flooding routing."""
+    return PubSubNetwork(line_topology(4), strategy="flooding", latency=0.05)

@@ -1,0 +1,81 @@
+"""Unit tests for dynamic (state-dependent) filters — the future-work extension."""
+
+import pytest
+
+from repro.core.dynamic_filter import BoundedDriftModel, BudgetFilter, DynamicFilter
+from repro.filters.constraints import GreaterEqual, LessEqual
+from repro.filters.covering import filter_covers
+
+
+class TestDynamicFilter:
+    def test_instantiation_follows_state(self):
+        dynamic = DynamicFilter(
+            {"type": "sale"}, attribute="price", constraint_function=lambda budget: LessEqual(budget)
+        )
+        cheap = dynamic.instantiate(50.0)
+        assert cheap.matches({"type": "sale", "price": 40})
+        assert not cheap.matches({"type": "sale", "price": 60})
+        assert not cheap.matches({"type": "auction", "price": 40})
+
+    def test_matches_at(self):
+        dynamic = DynamicFilter(
+            {"type": "sale"}, attribute="price", constraint_function=lambda b: LessEqual(b)
+        )
+        assert dynamic.matches_at({"type": "sale", "price": 10}, state=20)
+        assert not dynamic.matches_at({"type": "sale", "price": 30}, state=20)
+
+    def test_dynamic_attribute_must_not_be_static(self):
+        with pytest.raises(ValueError):
+            DynamicFilter({"price": 10}, attribute="price", constraint_function=LessEqual)
+
+    def test_without_uncertainty_model_widening_is_exact(self):
+        dynamic = DynamicFilter(
+            {"type": "sale"}, attribute="price", constraint_function=lambda b: LessEqual(b)
+        )
+        assert dynamic.instantiate_with_uncertainty(50.0, 3) == dynamic.instantiate(50.0)
+
+    def test_custom_constraint_function(self):
+        """State can drive any constraint type, e.g. a minimum rating."""
+        dynamic = DynamicFilter(
+            {"type": "restaurant"},
+            attribute="rating",
+            constraint_function=lambda pickiness: GreaterEqual(pickiness),
+        )
+        assert dynamic.instantiate(4).matches({"type": "restaurant", "rating": 5})
+        assert not dynamic.instantiate(4).matches({"type": "restaurant", "rating": 3})
+
+
+class TestBoundedDrift:
+    def test_widen(self):
+        model = BoundedDriftModel(5.0)
+        assert model.widen(100.0, 0) == 100.0
+        assert model.widen(100.0, 3) == 115.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BoundedDriftModel(-1.0)
+        with pytest.raises(ValueError):
+            BoundedDriftModel(1.0).widen(0.0, -1)
+
+
+class TestBudgetFilter:
+    def test_paper_example(self):
+        """'Sales that he still can afford' with a budget that may grow."""
+        budget_filter = BudgetFilter({"type": "sale"}, max_budget_growth=10.0)
+        exact = budget_filter.instantiate(100.0)
+        upstream = budget_filter.instantiate_with_uncertainty(100.0, steps=2)
+        assert exact.matches({"type": "sale", "price": 100})
+        assert not exact.matches({"type": "sale", "price": 101})
+        assert upstream.matches({"type": "sale", "price": 119})
+        assert not upstream.matches({"type": "sale", "price": 121})
+
+    def test_chain_is_nested_like_ploc(self):
+        """The per-hop chain satisfies the set-inclusion property of Section 5.1."""
+        budget_filter = BudgetFilter({"type": "sale"}, max_budget_growth=5.0)
+        chain = budget_filter.chain(100.0, levels=[0, 1, 1, 2])
+        for narrower, wider in zip(chain, chain[1:]):
+            assert filter_covers(wider, narrower)
+
+    def test_zero_growth_degenerates_to_exact(self):
+        budget_filter = BudgetFilter({"type": "sale"}, max_budget_growth=0.0)
+        assert budget_filter.instantiate_with_uncertainty(50.0, 4) == budget_filter.instantiate(50.0)

@@ -1,0 +1,99 @@
+"""Property-based tests (hypothesis) for ploc and the uncertainty plans."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.adaptivity import UncertaintyPlan, adaptive_levels
+from repro.core.ploc import MovementGraph, PlocFunction
+
+
+@st.composite
+def movement_graphs(draw):
+    """Small random connected movement graphs (built as random trees plus extras)."""
+    size = draw(st.integers(min_value=2, max_value=8))
+    names = ["L{}".format(index) for index in range(size)]
+    graph = MovementGraph(names)
+    # Random tree backbone keeps the graph connected.
+    for index in range(1, size):
+        parent = draw(st.integers(min_value=0, max_value=index - 1))
+        graph.add_edge(names[parent], names[index])
+    # A few extra edges are fine for ploc (the movement graph need not be a tree).
+    extra = draw(st.integers(min_value=0, max_value=size))
+    for _ in range(extra):
+        left = draw(st.integers(min_value=0, max_value=size - 1))
+        right = draw(st.integers(min_value=0, max_value=size - 1))
+        if left != right:
+            graph.add_edge(names[left], names[right])
+    return graph
+
+
+@settings(max_examples=100, deadline=None)
+@given(graph=movement_graphs(), steps=st.integers(min_value=0, max_value=6))
+def test_ploc_contains_current_location(graph, steps):
+    ploc = PlocFunction(graph)
+    for location in graph.locations():
+        assert location in ploc(location, steps)
+
+
+@settings(max_examples=100, deadline=None)
+@given(graph=movement_graphs(), steps=st.integers(min_value=0, max_value=5))
+def test_ploc_is_monotone_in_steps(graph, steps):
+    """Equation 1: ploc(x, q) ⊆ ploc(x, q + 1)."""
+    ploc = PlocFunction(graph)
+    for location in graph.locations():
+        assert ploc(location, steps) <= ploc(location, steps + 1)
+
+
+@settings(max_examples=100, deadline=None)
+@given(graph=movement_graphs())
+def test_ploc_saturates_at_diameter(graph):
+    ploc = PlocFunction(graph)
+    diameter = graph.diameter()
+    for location in graph.locations():
+        saturated = ploc(location, diameter)
+        assert saturated == ploc(location, diameter + 3)
+
+
+@settings(max_examples=100, deadline=None)
+@given(graph=movement_graphs(), steps=st.integers(min_value=0, max_value=4))
+def test_ploc_is_symmetric_reachability(graph, steps):
+    """y ∈ ploc(x, q) iff x ∈ ploc(y, q) — movement edges are undirected."""
+    ploc = PlocFunction(graph)
+    locations = graph.locations()
+    for x in locations:
+        for y in ploc(x, steps):
+            assert x in ploc(y, steps)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    dwell=st.floats(min_value=0.001, max_value=100.0, allow_nan=False, allow_infinity=False),
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False, allow_infinity=False),
+        min_size=1,
+        max_size=8,
+    ),
+)
+def test_adaptive_levels_are_valid_plans(dwell, delays):
+    """Adaptive levels always form a valid non-decreasing plan starting at 0."""
+    levels = adaptive_levels(dwell, delays)
+    assert levels[0] == 0
+    assert all(level >= 1 for level in levels[1:])
+    assert levels == sorted(levels)
+    plan = UncertaintyPlan(levels=levels, name="adaptive")  # must not raise
+    assert plan.level_for_hop(len(levels) + 5) == levels[-1]
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=5.0, allow_nan=False, allow_infinity=False),
+        min_size=1,
+        max_size=6,
+    ),
+    scale=st.floats(min_value=1.5, max_value=100.0, allow_nan=False, allow_infinity=False),
+)
+def test_slower_clients_never_need_more_lookahead(delays, scale):
+    """Increasing Δ never increases any hop's uncertainty level."""
+    fast = adaptive_levels(1.0, delays)
+    slow = adaptive_levels(scale, delays)
+    assert all(s <= f for s, f in zip(slow, fast))

@@ -1,0 +1,98 @@
+"""The paper's measured figures must show the expected qualitative shape."""
+
+import pytest
+
+from repro.experiments import fig2_naive_roaming, fig3_blackout, fig5_relocation, fig9_message_counts
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig2_naive_roaming.run()
+
+    def test_naive_roaming_duplicates_in_one_timing(self, result):
+        assert result.case("duplicate-timing", "naive").duplicates >= 1
+
+    def test_naive_roaming_misses_in_the_other_timing(self, result):
+        assert result.case("miss-timing", "naive").missed == 1
+
+    def test_relocation_protocol_exactly_once_in_both_timings(self, result):
+        assert result.case("duplicate-timing", "relocation").exactly_once
+        assert result.case("miss-timing", "relocation").exactly_once
+
+    def test_summary_properties(self, result):
+        assert result.naive_shows_anomalies
+        assert result.protocol_exactly_once
+        assert "naive" in result.format_text()
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig3_blackout.run()
+
+    def test_routed_resubscription_has_2td_blackout(self, result):
+        assert result.routed_blackout >= 2 * result.propagation_delay - result.publish_interval
+        assert result.routed.missed_count > 0
+
+    def test_flooding_has_no_blackout(self, result):
+        assert result.flooding_blackout < result.propagation_delay
+
+    def test_expected_shape(self, result):
+        assert result.shows_expected_shape
+        assert "flooding" in result.format_text()
+
+
+class TestFigure5:
+    @pytest.mark.parametrize("producers", [1, 2])
+    def test_all_guarantees_hold(self, producers):
+        result = fig5_relocation.run(producers=producers)
+        assert result.all_guarantees_hold
+        assert result.buffered_at_old_border > 0
+        assert result.replayed >= result.buffered_at_old_border
+        assert result.delivered_total == result.delivered_before_move + result.replayed + (
+            result.delivered_total - result.delivered_before_move - result.replayed
+        )
+
+    def test_relocation_latency_recorded(self):
+        result = fig5_relocation.run(producers=1)
+        assert result.relocation_latency is not None
+        assert result.relocation_latency > 0
+
+    def test_invalid_producer_count_rejected(self):
+        with pytest.raises(ValueError):
+            fig5_relocation.run(producers=3)
+
+
+class TestFigure9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = fig9_message_counts.Fig9Config(horizon=20.0, sample_interval=5.0)
+        return fig9_message_counts.run(config)
+
+    def test_three_series_produced(self, result):
+        labels = {series.label for series in result.series}
+        assert labels == {"flooding", "new alg. Delta=1", "new alg. Delta=10"}
+
+    def test_flooding_dominates(self, result):
+        flooding = result.series_by_label("flooding").total_messages
+        for label in ("new alg. Delta=1", "new alg. Delta=10"):
+            assert flooding > result.series_by_label(label).total_messages
+
+    def test_fast_consumer_costs_more_than_slow(self, result):
+        fast = result.series_by_label("new alg. Delta=1").total_messages
+        slow = result.series_by_label("new alg. Delta=10").total_messages
+        assert fast > slow
+
+    def test_series_grow_monotonically(self, result):
+        for series in result.series:
+            counts = [count for _, count in series.samples]
+            assert counts == sorted(counts)
+
+    def test_no_duplicates_in_any_configuration(self, result):
+        for series in result.series:
+            assert series.duplicates == 0
+
+    def test_expected_shape_and_formatting(self, result):
+        assert result.shows_expected_shape
+        assert "flooding" in result.format_text()

@@ -1,0 +1,69 @@
+"""The paper's tables must be reproduced cell for cell."""
+
+from repro.core.ploc import MovementGraph
+from repro.experiments import table1_ploc, table2_filters, table3_endpoints, table4_adaptive
+
+
+class TestTable1:
+    def test_matches_paper_exactly(self):
+        result = table1_ploc.run()
+        assert result.matches_paper, result.mismatches()
+
+    def test_formatting_contains_all_locations(self):
+        rendered = table1_ploc.run().format_text()
+        for location in "abcd":
+            assert "x = {}".format(location) in rendered
+
+    def test_custom_graph_does_not_match_reference(self):
+        corridor = MovementGraph.line(["a", "b", "c", "d"])
+        result = table1_ploc.run(graph=corridor)
+        assert not result.matches_paper
+        assert result.mismatches()
+
+
+class TestTable2:
+    def test_analytical_chain_matches_paper(self):
+        result = table2_filters.run()
+        assert result.matches_paper
+
+    def test_broker_network_realises_the_same_chain(self):
+        result = table2_filters.run()
+        assert result.implementation_agrees
+
+    def test_formatting_lists_all_hops(self):
+        rendered = table2_filters.run().format_text()
+        for label in ("F0", "F1", "F2", "F3"):
+            assert label in rendered
+
+
+class TestTable3:
+    def test_matches_paper_exactly(self):
+        assert table3_endpoints.run().matches_paper
+
+    def test_trivial_rows_saturate_at_one_step(self):
+        result = table3_endpoints.run(max_hops=5)
+        assert result.trivial[5] == result.trivial[1]
+
+    def test_flooding_rows_cover_everything(self):
+        result = table3_endpoints.run()
+        for hop in (1, 2, 3):
+            for location in "abcd":
+                assert result.flooding[hop][location] == frozenset("abcd")
+
+
+class TestTable4:
+    def test_levels_match_figure8(self):
+        result = table4_adaptive.run()
+        assert result.levels[:4] == [0, 1, 1, 2]
+
+    def test_table_matches_paper(self):
+        assert table4_adaptive.run().matches_paper
+
+    def test_cumulative_delays(self):
+        result = table4_adaptive.run()
+        assert result.cumulative_delays == [120.0, 170.0, 220.0, 240.0]
+
+    def test_different_timings_change_levels(self):
+        result = table4_adaptive.run(dwell_time=300.0)
+        assert result.levels[:4] == [0, 1, 1, 1]
+        assert not result.matches_paper

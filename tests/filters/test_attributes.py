@@ -1,0 +1,76 @@
+"""Unit tests for the attribute value model."""
+
+import pytest
+
+from repro.filters.attributes import (
+    AttributeTypeError,
+    canonical_key,
+    coerce_value,
+    comparable,
+    compare,
+    try_compare,
+    value_type_of,
+    values_equal,
+)
+
+
+class TestTypeTags:
+    def test_value_types(self):
+        assert value_type_of("x") == "string"
+        assert value_type_of(3) == "number"
+        assert value_type_of(3.5) == "number"
+        assert value_type_of(True) == "boolean"
+
+    def test_unsupported_types_rejected(self):
+        with pytest.raises(AttributeTypeError):
+            value_type_of(None)
+        with pytest.raises(AttributeTypeError):
+            coerce_value([1, 2])
+        with pytest.raises(AttributeTypeError):
+            coerce_value({"nested": 1})
+
+    def test_coerce_returns_value(self):
+        assert coerce_value("x") == "x"
+        assert coerce_value(0) == 0
+
+
+class TestComparison:
+    def test_numbers_and_strings_are_comparable_within_type(self):
+        assert comparable(1, 2.0)
+        assert comparable("a", "b")
+        assert not comparable(1, "1")
+        assert not comparable(True, False)  # booleans only support equality
+
+    def test_compare_signs(self):
+        assert compare(1, 2) < 0
+        assert compare(2, 1) > 0
+        assert compare(2, 2) == 0
+        assert compare("a", "b") < 0
+
+    def test_compare_raises_on_incomparable(self):
+        with pytest.raises(AttributeTypeError):
+            compare(1, "1")
+
+    def test_try_compare_never_raises(self):
+        ok, _ = try_compare(1, "1")
+        assert not ok
+        ok, sign = try_compare(3, 2)
+        assert ok and sign > 0
+
+    def test_values_equal_is_type_aware(self):
+        assert values_equal(1, 1.0)
+        assert not values_equal(1, True)
+        assert not values_equal("1", 1)
+        assert values_equal("a", "a")
+
+
+class TestCanonicalKey:
+    def test_numbers_collapse_int_and_float(self):
+        assert canonical_key(1) == canonical_key(1.0)
+
+    def test_booleans_do_not_collapse_with_numbers(self):
+        assert canonical_key(True) != canonical_key(1)
+
+    def test_strings_keep_identity(self):
+        assert canonical_key("1") != canonical_key(1)
+        assert canonical_key("a") == canonical_key("a")

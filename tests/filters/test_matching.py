@@ -1,0 +1,125 @@
+"""Unit tests for the matching engine (the routing-table index)."""
+
+from repro.filters.filter import Filter, MatchNone
+from repro.filters.matching import MatchingEngine
+
+
+def F(**kwargs):
+    return Filter(kwargs)
+
+
+class TestAddRemove:
+    def test_add_and_match(self):
+        engine = MatchingEngine()
+        engine.add(F(service="parking"), "link-1")
+        assert engine.matching_payloads({"service": "parking"}) == {"link-1"}
+        assert engine.matching_payloads({"service": "fuel"}) == set()
+
+    def test_multiple_payloads_per_filter(self):
+        engine = MatchingEngine()
+        assert engine.add(F(a=1), "x") is True
+        assert engine.add(F(a=1), "y") is False
+        assert engine.matching_payloads({"a": 1}) == {"x", "y"}
+
+    def test_remove_payload_keeps_entry(self):
+        engine = MatchingEngine()
+        engine.add(F(a=1), "x")
+        engine.add(F(a=1), "y")
+        assert engine.remove(F(a=1), "x")
+        assert engine.matching_payloads({"a": 1}) == {"y"}
+        assert len(engine) == 1
+
+    def test_remove_last_payload_drops_entry(self):
+        engine = MatchingEngine()
+        engine.add(F(a=1), "x")
+        assert engine.remove(F(a=1), "x")
+        assert len(engine) == 0
+        assert not engine.remove(F(a=1), "x")
+
+    def test_remove_filter_entirely(self):
+        engine = MatchingEngine()
+        engine.add(F(a=1), "x")
+        engine.add(F(a=1), "y")
+        assert engine.remove_filter(F(a=1))
+        assert len(engine) == 0
+
+    def test_match_none_is_never_indexed(self):
+        engine = MatchingEngine()
+        assert engine.add(MatchNone(), "x") is False
+        assert engine.matching_payloads({"a": 1}) == set()
+
+    def test_clear(self):
+        engine = MatchingEngine()
+        engine.add(F(a=1), "x")
+        engine.add(F(b=("<", 3)), "y")
+        engine.clear()
+        assert len(engine) == 0
+        assert engine.matching_payloads({"a": 1}) == set()
+
+
+class TestIndexedAndScanned:
+    def test_non_equality_filters_still_match(self):
+        engine = MatchingEngine()
+        engine.add(F(cost=("<", 3)), "cheap")
+        engine.add(F(cost=(">=", 3)), "pricey")
+        assert engine.matching_payloads({"cost": 2}) == {"cheap"}
+        assert engine.matching_payloads({"cost": 5}) == {"pricey"}
+
+    def test_mixed_index_and_scan(self):
+        engine = MatchingEngine()
+        engine.add(F(service="parking", cost=("<", 3)), "indexed")
+        engine.add(F(cost=("<", 3)), "scanned")
+        payloads = engine.matching_payloads({"service": "parking", "cost": 1})
+        assert payloads == {"indexed", "scanned"}
+
+    def test_many_disjoint_equalities(self):
+        engine = MatchingEngine()
+        for index in range(200):
+            engine.add(F(symbol="SYM{}".format(index)), index)
+        assert engine.matching_payloads({"symbol": "SYM42"}) == {42}
+        assert engine.matching_payloads({"symbol": "NOPE"}) == set()
+
+    def test_match_returns_filters_and_payloads(self):
+        engine = MatchingEngine()
+        engine.add(F(a=1), "x")
+        results = engine.match({"a": 1})
+        assert len(results) == 1
+        matched_filter, payloads = results[0]
+        assert matched_filter == F(a=1)
+        assert payloads == {"x"}
+
+    def test_contains_and_iteration(self):
+        engine = MatchingEngine()
+        engine.add(F(a=1), "x")
+        assert F(a=1) in engine
+        assert F(a=2) not in engine
+        assert [payloads for _, payloads in engine] == [{"x"}]
+
+    def test_payloads_for(self):
+        engine = MatchingEngine()
+        engine.add(F(a=1), "x")
+        assert engine.payloads_for(F(a=1)) == {"x"}
+        assert engine.payloads_for(F(a=2)) == set()
+
+    def test_agreement_with_bruteforce(self):
+        """The indexed engine returns exactly the brute-force result."""
+        engine = MatchingEngine()
+        filters = [
+            F(service="parking"),
+            F(service="parking", cost=("<", 3)),
+            F(cost=(">", 5)),
+            F(location=("in", ["a", "b"])),
+            F(location="c", service="fuel"),
+        ]
+        for index, filter_ in enumerate(filters):
+            engine.add(filter_, index)
+        notifications = [
+            {"service": "parking", "cost": 1, "location": "a"},
+            {"service": "fuel", "cost": 9, "location": "c"},
+            {"service": "towing"},
+            {"location": "b"},
+            {"cost": 6},
+        ]
+        for notification in notifications:
+            expected = {i for i, f in enumerate(filters) if f.matches(notification)}
+            assert engine.matching_payloads(notification) == expected

@@ -1,0 +1,117 @@
+"""Unit tests for filter merging."""
+
+from repro.filters.covering import filter_covers
+from repro.filters.filter import Filter, MatchNone
+from repro.filters.merging import imperfect_merge, merge_filters, try_merge_pair
+
+
+def F(**kwargs):
+    return Filter(kwargs)
+
+
+class TestPairMerging:
+    def test_identical_filters_merge_to_themselves(self):
+        assert try_merge_pair(F(a=1), F(a=1)) == F(a=1)
+
+    def test_covering_filter_wins(self):
+        wide = F(cost=("<", 10))
+        narrow = F(cost=("<", 3))
+        assert try_merge_pair(wide, narrow) == wide
+        assert try_merge_pair(narrow, wide) == wide
+
+    def test_equality_constraints_merge_to_set(self):
+        merged = try_merge_pair(F(location="a"), F(location="b"))
+        assert merged is not None
+        assert merged.matches({"location": "a"})
+        assert merged.matches({"location": "b"})
+        assert not merged.matches({"location": "c"})
+
+    def test_location_sets_merge_to_union(self):
+        merged = try_merge_pair(
+            F(service="parking", location=("in", ["a", "b"])),
+            F(service="parking", location=("in", ["b", "c"])),
+        )
+        assert merged is not None
+        for loc in "abc":
+            assert merged.matches({"service": "parking", "location": loc})
+        assert not merged.matches({"service": "fuel", "location": "a"})
+
+    def test_overlapping_intervals_merge(self):
+        merged = try_merge_pair(F(cost=("between", 0, 5)), F(cost=("between", 3, 10)))
+        assert merged is not None
+        assert merged.matches({"cost": 7})
+        assert merged.matches({"cost": 1})
+        assert not merged.matches({"cost": 11})
+
+    def test_disjoint_intervals_do_not_merge(self):
+        assert try_merge_pair(F(cost=("between", 0, 1)), F(cost=("between", 5, 6))) is None
+
+    def test_filters_differing_in_two_attributes_do_not_merge(self):
+        assert try_merge_pair(F(a=1, b=1), F(a=2, b=2)) is None
+
+    def test_different_attribute_sets_do_not_merge(self):
+        assert try_merge_pair(F(a=1), F(b=1)) is None
+
+    def test_match_none_is_neutral(self):
+        assert try_merge_pair(MatchNone(), F(a=1)) == F(a=1)
+        assert try_merge_pair(F(a=1), MatchNone()) == F(a=1)
+
+    def test_merge_covers_both_inputs(self):
+        left = F(service="parking", location=("in", ["a"]))
+        right = F(service="parking", location=("in", ["b", "c"]))
+        merged = try_merge_pair(left, right)
+        assert merged is not None
+        assert filter_covers(merged, left)
+        assert filter_covers(merged, right)
+
+
+class TestSetMerging:
+    def test_merge_filters_collapses_chain(self):
+        filters = [F(location=("in", [loc])) for loc in "abcd"]
+        merged = merge_filters(filters)
+        assert len(merged) == 1
+        for loc in "abcd":
+            assert merged[0].matches({"location": loc})
+
+    def test_merge_filters_keeps_unmergeable_separate(self):
+        filters = [F(a=1), F(b=2)]
+        merged = merge_filters(filters)
+        assert len(merged) == 2
+
+    def test_merge_filters_union_preserved(self):
+        filters = [
+            F(service="parking", location="a"),
+            F(service="parking", location="b"),
+            F(service="fuel", location="a"),
+        ]
+        merged = merge_filters(filters)
+        samples = [
+            {"service": s, "location": l}
+            for s in ("parking", "fuel", "towing")
+            for l in ("a", "b", "c")
+        ]
+        for sample in samples:
+            assert any(f.matches(sample) for f in filters) == any(
+                f.matches(sample) for f in merged
+            )
+
+    def test_merge_filters_empty_input(self):
+        assert merge_filters([]) == []
+        assert merge_filters([MatchNone()]) == []
+
+
+class TestImperfectMerge:
+    def test_widens_one_attribute(self):
+        merged = imperfect_merge(
+            [F(service="parking", location="a"), F(service="parking", location="b")],
+            attribute="location",
+        )
+        assert merged is not None
+        assert merged.matches({"service": "parking", "location": "z"})
+        assert not merged.matches({"service": "fuel", "location": "a"})
+
+    def test_requires_same_attribute_sets(self):
+        assert imperfect_merge([F(a=1), F(a=1, b=2)], attribute="a") is None
+
+    def test_requires_other_attributes_equal(self):
+        assert imperfect_merge([F(a=1, b=1), F(a=2, b=2)], attribute="a") is None

@@ -1,0 +1,105 @@
+"""Unit tests for the routing strategies' forwarding-set computation."""
+
+import pytest
+
+from repro.filters.filter import Filter, MatchNone
+from repro.routing.strategies import (
+    CoveringStrategy,
+    FloodingStrategy,
+    IdentityStrategy,
+    MergingStrategy,
+    SimpleStrategy,
+    available_strategies,
+    make_strategy,
+)
+
+
+def F(**kwargs):
+    return Filter(kwargs)
+
+
+class TestFactory:
+    def test_all_strategies_constructible(self):
+        for name in available_strategies():
+            strategy = make_strategy(name)
+            assert strategy.name == name
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            make_strategy("teleportation")
+
+    def test_flooding_flag(self):
+        assert make_strategy("flooding").floods_notifications
+        assert not make_strategy("covering").floods_notifications
+
+
+class TestForwardingSets:
+    def test_flooding_forwards_nothing(self):
+        assert FloodingStrategy().desired_forwarding_set([F(a=1), F(b=2)]) == []
+
+    def test_simple_forwards_everything_once(self):
+        filters = [F(a=1), F(b=2), F(a=1)]
+        selected = SimpleStrategy().desired_forwarding_set(filters)
+        assert len(selected) == 2
+        assert F(a=1) in selected and F(b=2) in selected
+
+    def test_identity_collapses_duplicates(self):
+        filters = [F(a=1), F(a=1), F(a=1)]
+        assert IdentityStrategy().desired_forwarding_set(filters) == [F(a=1)]
+
+    def test_covering_drops_covered_filters(self):
+        filters = [F(cost=("<", 3)), F(cost=("<", 10)), F(service="parking")]
+        selected = CoveringStrategy().desired_forwarding_set(filters)
+        assert F(cost=("<", 10)) in selected
+        assert F(service="parking") in selected
+        assert F(cost=("<", 3)) not in selected
+
+    def test_covering_smaller_or_equal_than_simple(self):
+        filters = [
+            F(location=("in", ["a"])),
+            F(location=("in", ["a", "b"])),
+            F(location=("in", ["c"])),
+            F(service="parking"),
+        ]
+        simple = SimpleStrategy().desired_forwarding_set(filters)
+        covering = CoveringStrategy().desired_forwarding_set(filters)
+        assert len(covering) <= len(simple)
+
+    def test_merging_collapses_mergeable_filters(self):
+        filters = [
+            F(service="parking", location=("in", ["a"])),
+            F(service="parking", location=("in", ["b"])),
+            F(service="parking", location=("in", ["c"])),
+        ]
+        merged = MergingStrategy().desired_forwarding_set(filters)
+        assert len(merged) == 1
+        for loc in "abc":
+            assert merged[0].matches({"service": "parking", "location": loc})
+
+    def test_match_none_is_dropped_everywhere(self):
+        for name in available_strategies():
+            strategy = make_strategy(name)
+            assert MatchNone() not in strategy.desired_forwarding_set([MatchNone(), F(a=1)])
+
+    def test_union_preserved_by_all_strategies(self):
+        """Every non-flooding strategy's output accepts exactly the union."""
+        filters = [
+            F(service="parking", cost=("<", 3)),
+            F(service="parking", cost=("<", 10)),
+            F(service="fuel"),
+            F(location=("in", ["a", "b"])),
+        ]
+        samples = [
+            {"service": "parking", "cost": 1},
+            {"service": "parking", "cost": 5},
+            {"service": "fuel", "cost": 100},
+            {"location": "a"},
+            {"location": "z"},
+            {},
+        ]
+        for name in ("simple", "identity", "covering", "merging"):
+            selected = make_strategy(name).desired_forwarding_set(filters)
+            for sample in samples:
+                expected = any(f.matches(sample) for f in filters)
+                actual = any(f.matches(sample) for f in selected)
+                assert actual == expected, (name, sample)

@@ -1,0 +1,108 @@
+"""Unit tests for the routing table."""
+
+from repro.filters.filter import Filter
+from repro.routing.table import RoutingTable
+
+
+def F(**kwargs):
+    return Filter(kwargs)
+
+
+class TestAddRemove:
+    def test_add_and_match_destinations(self):
+        table = RoutingTable()
+        assert table.add(F(a=1), "link-1", "client/sub")
+        assert table.matching_destinations({"a": 1}) == {"link-1"}
+        assert table.matching_destinations({"a": 2}) == set()
+
+    def test_same_row_multiple_subjects(self):
+        table = RoutingTable()
+        assert table.add(F(a=1), "link-1", "c1/s1")
+        assert not table.add(F(a=1), "link-1", "c2/s1")
+        assert len(table) == 1
+        entry = table.find_entry(F(a=1), "link-1")
+        assert entry.subjects == {"c1/s1", "c2/s1"}
+
+    def test_remove_subject_keeps_row_until_empty(self):
+        table = RoutingTable()
+        table.add(F(a=1), "link-1", "c1/s1")
+        table.add(F(a=1), "link-1", "c2/s1")
+        assert not table.remove(F(a=1), "link-1", "c1/s1")
+        assert len(table) == 1
+        assert table.remove(F(a=1), "link-1", "c2/s1")
+        assert len(table) == 0
+
+    def test_remove_without_subject_drops_row(self):
+        table = RoutingTable()
+        table.add(F(a=1), "link-1", "c1/s1")
+        table.add(F(a=1), "link-1", "c2/s1")
+        assert table.remove(F(a=1), "link-1")
+        assert len(table) == 0
+
+    def test_remove_missing_row(self):
+        table = RoutingTable()
+        assert not table.remove(F(a=1), "link-1", "c1/s1")
+
+    def test_remove_subject_across_rows(self):
+        table = RoutingTable()
+        table.add(F(a=1), "link-1", "c1/s1")
+        table.add(F(b=2), "link-2", "c1/s1")
+        table.add(F(b=2), "link-2", "c2/s2")
+        removed = table.remove_subject("c1/s1")
+        assert len(removed) == 1
+        assert len(table) == 1
+        assert table.matching_destinations({"b": 2}) == {"link-2"}
+
+    def test_remove_destination(self):
+        table = RoutingTable()
+        table.add(F(a=1), "link-1", "s")
+        table.add(F(b=2), "link-1", "s")
+        table.add(F(c=3), "link-2", "s")
+        removed = table.remove_destination("link-1")
+        assert len(removed) == 2
+        assert table.destinations() == ["link-2"]
+
+    def test_clear(self):
+        table = RoutingTable()
+        table.add(F(a=1), "link-1", "s")
+        table.clear()
+        assert len(table) == 0
+        assert table.matching_destinations({"a": 1}) == set()
+
+
+class TestQueries:
+    def test_matching_entries(self):
+        table = RoutingTable()
+        table.add(F(a=1), "link-1", "s1")
+        table.add(F(a=1), "link-2", "s2")
+        table.add(F(b=2), "link-1", "s3")
+        entries = table.matching_entries({"a": 1})
+        assert {entry.destination for entry in entries} == {"link-1", "link-2"}
+
+    def test_entries_for_subject_and_destination(self):
+        table = RoutingTable()
+        table.add(F(a=1), "link-1", "c/s")
+        table.add(F(b=2), "link-2", "c/s")
+        assert len(table.entries_for_subject("c/s")) == 2
+        assert len(table.entries_for_destination("link-1")) == 1
+
+    def test_filters_except_destination(self):
+        table = RoutingTable()
+        table.add(F(a=1), "link-1", "s1")
+        table.add(F(b=2), "link-2", "s2")
+        filters = table.filters_except_destination("link-1")
+        assert filters == [F(b=2)]
+
+    def test_size_by_destination(self):
+        table = RoutingTable()
+        table.add(F(a=1), "link-1", "s1")
+        table.add(F(b=2), "link-1", "s2")
+        table.add(F(c=3), "link-2", "s3")
+        assert table.size_by_destination() == {"link-1": 2, "link-2": 1}
+
+    def test_has_entry_and_iteration(self):
+        table = RoutingTable()
+        table.add(F(a=1), "link-1", "s1")
+        assert table.has_entry(F(a=1), "link-1")
+        assert not table.has_entry(F(a=1), "link-2")
+        assert len(list(iter(table))) == 1

@@ -1,0 +1,120 @@
+"""Unit tests for simulated links (FIFO, latency, fault injection)."""
+
+import pytest
+
+from repro.messages.admin import Subscribe
+from repro.messages.notification import Notification
+from repro.filters.filter import Filter
+from repro.sim.engine import Simulator
+from repro.sim.network import FaultModel, FixedLatency, Link, UniformLatency
+from repro.sim.rng import DeterministicRandom
+from repro.sim.trace import TraceRecorder
+
+
+def make_notification(seq: int) -> Notification:
+    return Notification({"index": seq}, publisher="p", publisher_seq=seq)
+
+
+class Collector:
+    def __init__(self):
+        self.messages = []
+
+    def __call__(self, message, link):
+        self.messages.append(message)
+
+
+class TestLatencyAndFifo:
+    def test_fixed_latency_delivery_time(self):
+        simulator = Simulator()
+        collector = Collector()
+        times = []
+        link = Link(simulator, "A", "B", lambda m, l: times.append(simulator.now), FixedLatency(0.5))
+        link.send(make_notification(1))
+        simulator.run()
+        assert times == [0.5]
+
+    def test_fifo_order_with_fixed_latency(self):
+        simulator = Simulator()
+        collector = Collector()
+        link = Link(simulator, "A", "B", collector, FixedLatency(0.1))
+        for seq in range(5):
+            link.send(make_notification(seq))
+        simulator.run()
+        assert [m.publisher_seq for m in collector.messages] == list(range(5))
+
+    def test_fifo_order_with_jittering_latency(self):
+        simulator = Simulator()
+        collector = Collector()
+        rng = DeterministicRandom(3)
+        link = Link(simulator, "A", "B", collector, UniformLatency(0.0, 1.0, rng))
+        for seq in range(50):
+            link.send(make_notification(seq))
+        simulator.run()
+        assert [m.publisher_seq for m in collector.messages] == list(range(50))
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            FixedLatency(-1)
+        with pytest.raises(ValueError):
+            UniformLatency(2, 1, DeterministicRandom(1))
+
+    def test_counters(self):
+        simulator = Simulator()
+        collector = Collector()
+        link = Link(simulator, "A", "B", collector, FixedLatency(0.1))
+        link.send(make_notification(1))
+        link.send(make_notification(2))
+        simulator.run()
+        assert link.sent_count == 2
+        assert link.delivered_count == 2
+        assert link.dropped_count == 0
+
+    def test_link_name(self):
+        simulator = Simulator()
+        link = Link(simulator, "A", "B", Collector(), FixedLatency(0.1))
+        assert link.name == "A->B"
+
+
+class TestTracing:
+    def test_trace_records_every_send(self):
+        simulator = Simulator()
+        trace = TraceRecorder()
+        link = Link(simulator, "A", "B", Collector(), FixedLatency(0.1), trace=trace)
+        link.send(make_notification(1))
+        link.send(Subscribe(Filter({"a": 1}), subject="client"))
+        simulator.run()
+        assert trace.count_link_messages() == 2
+        types = {record.message_type for record in trace.link_records}
+        assert types == {"Notification", "Subscribe"}
+
+
+class TestFaultInjection:
+    def test_drops_reduce_deliveries(self):
+        simulator = Simulator()
+        collector = Collector()
+        fault = FaultModel(DeterministicRandom(5), drop_probability=0.5)
+        link = Link(simulator, "A", "B", collector, FixedLatency(0.01), fault_model=fault)
+        for seq in range(200):
+            link.send(make_notification(seq))
+        simulator.run()
+        assert 0 < len(collector.messages) < 200
+        assert link.dropped_count == 200 - len(collector.messages)
+
+    def test_duplicates_increase_deliveries(self):
+        simulator = Simulator()
+        collector = Collector()
+        fault = FaultModel(DeterministicRandom(5), duplicate_probability=0.5)
+        link = Link(simulator, "A", "B", collector, FixedLatency(0.01), fault_model=fault)
+        for seq in range(100):
+            link.send(make_notification(seq))
+        simulator.run()
+        assert len(collector.messages) > 100
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(ValueError):
+            FaultModel(DeterministicRandom(1), drop_probability=1.5)
+
+    def test_no_faults_by_default(self):
+        fault = FaultModel(DeterministicRandom(1))
+        assert not fault.should_drop()
+        assert not fault.should_duplicate()

@@ -1,0 +1,47 @@
+"""Unit tests for the deterministic RNG wrapper."""
+
+from repro.sim.rng import DeterministicRandom
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        left = DeterministicRandom(42)
+        right = DeterministicRandom(42)
+        assert [left.randint(0, 100) for _ in range(10)] == [
+            right.randint(0, 100) for _ in range(10)
+        ]
+        assert [left.uniform(0, 1) for _ in range(5)] == [right.uniform(0, 1) for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        left = DeterministicRandom(1)
+        right = DeterministicRandom(2)
+        assert [left.randint(0, 10 ** 9) for _ in range(5)] != [
+            right.randint(0, 10 ** 9) for _ in range(5)
+        ]
+
+    def test_fork_is_deterministic_and_independent(self):
+        base = DeterministicRandom(7)
+        fork_a = base.fork(1)
+        fork_b = base.fork(2)
+        again = DeterministicRandom(7).fork(1)
+        assert [fork_a.random() for _ in range(5)] == [again.random() for _ in range(5)]
+        assert fork_a.seed != fork_b.seed
+
+    def test_choice_and_sample(self):
+        rng = DeterministicRandom(3)
+        options = ["a", "b", "c", "d"]
+        assert rng.choice(options) in options
+        sample = rng.sample(options, 2)
+        assert len(sample) == 2
+        assert set(sample) <= set(options)
+
+    def test_shuffle_preserves_elements(self):
+        rng = DeterministicRandom(3)
+        items = list(range(20))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+    def test_expovariate_positive(self):
+        rng = DeterministicRandom(3)
+        assert all(rng.expovariate(2.0) > 0 for _ in range(100))

@@ -1,0 +1,34 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro import cli
+
+
+class TestCli:
+    def test_table_commands(self, capsys):
+        for number in ("1", "3", "4"):
+            assert cli.main(["table", number]) == 0
+            assert capsys.readouterr().out.strip()
+
+    def test_figure2_command(self, capsys):
+        assert cli.main(["figure", "2"]) == 0
+        assert "naive" in capsys.readouterr().out
+
+    def test_figure5_command(self, capsys):
+        assert cli.main(["figure", "5"]) == 0
+        assert "producers" in capsys.readouterr().out
+
+    def test_demo_command(self, capsys):
+        assert cli.main(["demo"]) == 0
+        assert "delivered 3 notifications" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["teleport"])
+
+    def test_parser_help_lists_commands(self):
+        parser = cli.build_parser()
+        rendered = parser.format_help()
+        for command in ("experiments", "table", "figure", "demo"):
+            assert command in rendered

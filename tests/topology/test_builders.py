@@ -1,0 +1,78 @@
+"""Unit tests for topology builders."""
+
+import pytest
+
+from repro.sim.rng import DeterministicRandom
+from repro.topology.builders import (
+    balanced_tree_topology,
+    line_topology,
+    random_tree_topology,
+    star_topology,
+)
+from repro.topology.graph import TopologyError
+
+
+class TestLine:
+    def test_line_shape(self):
+        graph = line_topology(4)
+        assert graph.brokers() == ["B1", "B2", "B3", "B4"]
+        assert graph.path("B1", "B4") == ["B1", "B2", "B3", "B4"]
+        assert graph.leaves() == ["B1", "B4"]
+
+    def test_single_broker_line(self):
+        graph = line_topology(1)
+        assert graph.brokers() == ["B1"]
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(TopologyError):
+            line_topology(0)
+
+
+class TestStar:
+    def test_star_shape(self):
+        graph = star_topology(3, hub="hub")
+        assert graph.degree("hub") == 3
+        assert sorted(graph.leaves()) == ["B1", "B2", "B3"]
+        graph.validate()
+
+    def test_rejects_no_leaves(self):
+        with pytest.raises(TopologyError):
+            star_topology(0)
+
+
+class TestBalancedTree:
+    def test_tree_size(self):
+        graph = balanced_tree_topology(depth=2, fanout=2)
+        assert len(graph) == 7  # 1 + 2 + 4
+        graph.validate()
+        assert len(graph.leaves()) == 4
+
+    def test_depth_zero(self):
+        graph = balanced_tree_topology(depth=0, fanout=3)
+        assert len(graph) == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(TopologyError):
+            balanced_tree_topology(depth=-1, fanout=2)
+        with pytest.raises(TopologyError):
+            balanced_tree_topology(depth=1, fanout=0)
+
+
+class TestRandomTree:
+    def test_random_tree_is_a_valid_tree(self):
+        graph = random_tree_topology(20, DeterministicRandom(9))
+        graph.validate()
+        assert len(graph) == 20
+
+    def test_random_tree_deterministic_for_seed(self):
+        left = random_tree_topology(15, DeterministicRandom(4))
+        right = random_tree_topology(15, DeterministicRandom(4))
+        assert left.edges() == right.edges()
+
+    def test_degree_cap_respected(self):
+        graph = random_tree_topology(20, DeterministicRandom(2), max_degree=3)
+        assert all(graph.degree(name) <= 3 for name in graph.brokers())
+
+    def test_degree_cap_too_small(self):
+        with pytest.raises(TopologyError):
+            random_tree_topology(5, DeterministicRandom(2), max_degree=1)

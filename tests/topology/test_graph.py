@@ -1,0 +1,75 @@
+"""Unit tests for the broker graph."""
+
+import pytest
+
+from repro.topology.graph import BrokerGraph, TopologyError
+
+
+class TestConstruction:
+    def test_add_edges_and_inspect(self):
+        graph = BrokerGraph.from_edges([("A", "B"), ("B", "C")])
+        assert graph.brokers() == ["A", "B", "C"]
+        assert graph.edges() == [("A", "B"), ("B", "C")]
+        assert graph.neighbours("B") == ["A", "C"]
+        assert graph.degree("B") == 2
+        assert "A" in graph and "Z" not in graph
+        assert len(graph) == 3
+
+    def test_rejects_self_loops(self):
+        graph = BrokerGraph()
+        with pytest.raises(TopologyError):
+            graph.add_edge("A", "A")
+
+    def test_rejects_bad_names(self):
+        graph = BrokerGraph()
+        with pytest.raises(TopologyError):
+            graph.add_broker("")
+
+    def test_unknown_broker_queries_raise(self):
+        graph = BrokerGraph.from_edges([("A", "B")])
+        with pytest.raises(TopologyError):
+            graph.neighbours("Z")
+        with pytest.raises(TopologyError):
+            graph.path("A", "Z")
+
+
+class TestValidation:
+    def test_tree_is_valid(self):
+        graph = BrokerGraph.from_edges([("A", "B"), ("B", "C"), ("B", "D")])
+        graph.validate()
+
+    def test_cycle_is_rejected(self):
+        graph = BrokerGraph.from_edges([("A", "B"), ("B", "C"), ("C", "A")])
+        with pytest.raises(TopologyError):
+            graph.validate()
+
+    def test_disconnected_graph_is_rejected(self):
+        graph = BrokerGraph.from_edges([("A", "B")])
+        graph.add_broker("C")
+        with pytest.raises(TopologyError):
+            graph.validate()
+
+    def test_empty_graph_is_rejected(self):
+        with pytest.raises(TopologyError):
+            BrokerGraph().validate()
+
+    def test_is_connected(self):
+        connected = BrokerGraph.from_edges([("A", "B"), ("B", "C")])
+        assert connected.is_connected()
+        disconnected = BrokerGraph.from_edges([("A", "B")])
+        disconnected.add_broker("C")
+        assert not disconnected.is_connected()
+
+
+class TestPaths:
+    def test_unique_path(self):
+        graph = BrokerGraph.from_edges([("A", "B"), ("B", "C"), ("B", "D"), ("D", "E")])
+        assert graph.path("A", "E") == ["A", "B", "D", "E"]
+        assert graph.path("C", "C") == ["C"]
+        assert graph.distance("A", "E") == 3
+        assert graph.distance("A", "A") == 0
+
+    def test_leaves_and_diameter(self):
+        graph = BrokerGraph.from_edges([("A", "B"), ("B", "C"), ("B", "D"), ("D", "E")])
+        assert graph.leaves() == ["A", "C", "E"]
+        assert graph.diameter() == 3

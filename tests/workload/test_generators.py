@@ -1,0 +1,113 @@
+"""Unit tests for workload generators."""
+
+import pytest
+
+from repro.broker.network import PubSubNetwork
+from repro.sim.rng import DeterministicRandom
+from repro.topology.builders import line_topology
+from repro.workload.generators import (
+    BurstPublisher,
+    PoissonPublisher,
+    ScheduledPublication,
+    UniformLocationPublisher,
+    publish_schedule,
+)
+
+
+class TestUniformLocationPublisher:
+    def test_rate_and_horizon(self):
+        generator = UniformLocationPublisher(["a", "b"], rate=4.0, rng=DeterministicRandom(1))
+        schedule = generator.schedule(0.0, 10.0)
+        assert len(schedule) == 40
+        assert all(0.0 <= item.time < 10.0 for item in schedule)
+
+    def test_locations_drawn_from_set(self):
+        generator = UniformLocationPublisher(
+            ["a", "b", "c"], rate=10.0, rng=DeterministicRandom(1), base_attributes={"service": "x"}
+        )
+        schedule = generator.schedule(0.0, 20.0)
+        locations = {item.as_dict()["location"] for item in schedule}
+        assert locations == {"a", "b", "c"}
+        assert all(item.as_dict()["service"] == "x" for item in schedule)
+
+    def test_approximately_uniform(self):
+        generator = UniformLocationPublisher(["a", "b", "c", "d"], rate=50.0, rng=DeterministicRandom(7))
+        schedule = generator.schedule(0.0, 40.0)
+        counts = {}
+        for item in schedule:
+            location = item.as_dict()["location"]
+            counts[location] = counts.get(location, 0) + 1
+        assert len(schedule) == 2000
+        for count in counts.values():
+            assert 400 < count < 600  # 500 expected per location
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformLocationPublisher([], rate=1.0, rng=DeterministicRandom(1))
+        with pytest.raises(ValueError):
+            UniformLocationPublisher(["a"], rate=0.0, rng=DeterministicRandom(1))
+
+
+class TestPoissonPublisher:
+    def test_mean_rate(self):
+        generator = PoissonPublisher(
+            rate=10.0, rng=DeterministicRandom(3), attribute_factory=lambda i, r: {"index": i}
+        )
+        schedule = generator.schedule(0.0, 100.0)
+        assert 800 < len(schedule) < 1200
+
+    def test_times_strictly_increasing(self):
+        generator = PoissonPublisher(
+            rate=5.0, rng=DeterministicRandom(3), attribute_factory=lambda i, r: {"index": i}
+        )
+        schedule = generator.schedule(0.0, 20.0)
+        times = [item.time for item in schedule]
+        assert times == sorted(times)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonPublisher(rate=0, rng=DeterministicRandom(1), attribute_factory=lambda i, r: {})
+
+
+class TestBurstPublisher:
+    def test_burst_structure(self):
+        generator = BurstPublisher(
+            burst_size=5, burst_interval=10.0, attribute_factory=lambda i: {"index": i}, spacing=0.1
+        )
+        schedule = generator.schedule(0.0, 25.0)
+        assert len(schedule) == 15  # bursts at 0, 10, 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstPublisher(0, 1.0, lambda i: {})
+        with pytest.raises(ValueError):
+            BurstPublisher(1, 0.0, lambda i: {})
+
+
+class TestDriving:
+    def test_drive_schedules_and_publishes(self):
+        network = PubSubNetwork(line_topology(2), strategy="covering", latency=0.01)
+        producer = network.add_client("P", "B2")
+        producer.advertise({"service": "demo"})
+        consumer = network.add_client("C", "B1")
+        consumer.subscribe({"service": "demo"})
+        network.settle()
+        generator = UniformLocationPublisher(
+            ["a"], rate=2.0, rng=DeterministicRandom(1), base_attributes={"service": "demo"}
+        )
+        count = generator.drive(network, producer, start=network.now, end=network.now + 5.0)
+        network.settle()
+        assert count == 10
+        assert len(consumer.received) == 10
+        assert len(network.trace.publish_records) == 10
+
+    def test_publish_schedule_handles_past_and_future(self):
+        network = PubSubNetwork(line_topology(2), strategy="covering", latency=0.01)
+        producer = network.add_client("P", "B1")
+        items = [
+            ScheduledPublication(time=0.0, attributes=(("a", 1),)),
+            ScheduledPublication(time=5.0, attributes=(("a", 2),)),
+        ]
+        publish_schedule(network, producer, items)
+        network.settle()
+        assert len(network.trace.publish_records) == 2
