@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Run the pytest-benchmark suites and emit trajectory-friendly JSON.
+
+Usage::
+
+    python benchmarks/run_bench.py                     # all benchmarks -> BENCH_all.json
+    python benchmarks/run_bench.py --name scale benchmarks/test_bench_scale.py
+    python benchmarks/run_bench.py --out-dir results/ benchmarks/test_bench_tables.py
+
+The script wraps ``pytest --benchmark-json`` and condenses its (very
+verbose) output into ``BENCH_<name>.json``: one record per benchmark with
+the timing statistics that matter plus every ``benchmark.extra_info``
+value the suites record (admin message counts, covering-call ratios,
+routing-table sizes...).  Future sessions diff these files to detect
+performance regressions without re-parsing pytest output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def condense(raw: dict) -> dict:
+    """Reduce pytest-benchmark's JSON to the stable, diffable core."""
+    benchmarks = []
+    for record in raw.get("benchmarks", []):
+        stats = record.get("stats", {})
+        benchmarks.append(
+            {
+                "name": record.get("name"),
+                "group": record.get("group"),
+                "mean_s": stats.get("mean"),
+                "min_s": stats.get("min"),
+                "stddev_s": stats.get("stddev"),
+                "rounds": stats.get("rounds"),
+                "extra_info": record.get("extra_info", {}),
+            }
+        )
+    benchmarks.sort(key=lambda item: item["name"] or "")
+    machine = raw.get("machine_info", {})
+    return {
+        "datetime": raw.get("datetime"),
+        "python": machine.get("python_version"),
+        "benchmark_count": len(benchmarks),
+        "benchmarks": benchmarks,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "selectors",
+        nargs="*",
+        default=[],
+        help="pytest selectors (default: the whole benchmarks/ directory)",
+    )
+    parser.add_argument("--name", default="all", help="suffix for BENCH_<name>.json")
+    parser.add_argument("--out-dir", default=REPO_ROOT, help="where to write the output file")
+    parser.add_argument(
+        "--pytest-arg",
+        action="append",
+        default=[],
+        help="extra argument forwarded to pytest (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    selectors = args.selectors or [os.path.join(REPO_ROOT, "benchmarks")]
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        raw_path = handle.name
+    try:
+        env = dict(os.environ)
+        src = os.path.join(REPO_ROOT, "src")
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        command = [
+            sys.executable,
+            "-m",
+            "pytest",
+            "-q",
+            "--benchmark-json",
+            raw_path,
+            *args.pytest_arg,
+            *selectors,
+        ]
+        print("$", " ".join(command))
+        result = subprocess.run(command, cwd=REPO_ROOT, env=env)
+        if result.returncode != 0:
+            print("pytest failed (exit {}); no BENCH file written".format(result.returncode))
+            return result.returncode
+        with open(raw_path) as handle:
+            raw = json.load(handle)
+    finally:
+        try:
+            os.unlink(raw_path)
+        except OSError:
+            pass
+
+    out_path = os.path.join(args.out_dir, "BENCH_{}.json".format(args.name))
+    with open(out_path, "w") as handle:
+        json.dump(condense(raw), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote {}".format(out_path))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

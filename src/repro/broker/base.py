@@ -38,6 +38,7 @@ from repro.core.location_filter import (
 from repro.core.logical import LogicalSubscriptionState
 from repro.core.physical import RelocationBuffer, RelocationRecord, VirtualCounterpart
 from repro.filters.covering import filter_covers, filters_overlap_hint
+from repro.filters.covering_cache import CoveringCache, get_covering_cache
 from repro.filters.filter import Filter, MatchNone
 from repro.messages.admin import Advertise, Subscribe, Unadvertise, Unsubscribe
 from repro.messages.base import Message
@@ -61,6 +62,46 @@ def subscription_token(client_id: str, subscription_id: str) -> str:
     return "{}/{}".format(client_id, subscription_id)
 
 
+# ---------------------------------------------------------------------------
+# Deterministic ordering of (filter key, subject) pairs
+# ---------------------------------------------------------------------------
+#
+# ``refresh_forwarding`` sorts the Subscribe/Unsubscribe diff so message
+# emission is deterministic.  Filter keys are nested tuples mixing value
+# types (strings, numbers, booleans, tuples), which do not compare across
+# types, so a total order needs type tagging.  Sorting by ``repr`` of the
+# whole key worked but allocated a string per entry per refresh; instead we
+# map each key once to a comparable type-ranked token and memoise it (the
+# same filter keys recur on every refresh).
+
+_SORT_TOKEN_CACHE: Dict[Any, Any] = {}
+_SORT_TOKEN_CACHE_LIMIT = 65536
+
+
+def _sortable_token(value: Any) -> Any:
+    """A totally ordered, cheap-to-compare stand-in for a filter-key part."""
+    if isinstance(value, tuple):
+        return (3, tuple(_sortable_token(part) for part in value))
+    if isinstance(value, bool):  # before int: bool is an int subclass
+        return (0, 1 if value else 0)
+    if isinstance(value, (int, float)):
+        return (1, value)
+    if isinstance(value, str):
+        return (2, value)
+    return (4, repr(value))
+
+
+def _forwarding_sort_key(item: Tuple[Tuple[Any, str], Filter]) -> Tuple[Any, str]:
+    filter_key, subject = item[0]
+    token = _SORT_TOKEN_CACHE.get(filter_key)
+    if token is None:
+        if len(_SORT_TOKEN_CACHE) >= _SORT_TOKEN_CACHE_LIMIT:
+            _SORT_TOKEN_CACHE.clear()
+        token = _sortable_token(filter_key)
+        _SORT_TOKEN_CACHE[filter_key] = token
+    return (token, subject)
+
+
 @dataclass
 class BrokerConfig:
     """Tunable broker behaviour.
@@ -82,11 +123,21 @@ class BrokerConfig:
         every link of the subscription path even if the corresponding
         ``ploc`` set did not change; when ``False``, propagation stops at
         the first hop whose upstream filter is unaffected (an ablation).
+    incremental_forwarding:
+        When ``True`` (the default), :meth:`Broker.refresh_forwarding`
+        only recomputes a neighbour's desired forwarding set when routing
+        state relevant to that neighbour actually changed, reuses the
+        previous strategy reduction incrementally, and memoises covering
+        tests in the shared :class:`~repro.filters.covering_cache.CoveringCache`.
+        When ``False``, every refresh recomputes everything from scratch
+        (the original behaviour, kept as the benchmark baseline).  Both
+        modes produce identical messages and routing tables.
     """
 
     use_advertisements: bool = True
     counterpart_max_buffer: Optional[int] = None
     propagate_unchanged_location_updates: bool = True
+    incremental_forwarding: bool = True
 
 
 @dataclass
@@ -142,6 +193,28 @@ class Broker:
         self._forwarded_subscriptions: Dict[str, Dict[Tuple[Any, str], Filter]] = {}
         self._forwarded_advertisements: Dict[str, Dict[Tuple[Any, str], Filter]] = {}
 
+        # Incremental forwarding refresh: per-neighbour dirty flags driven
+        # by the routing tables' per-destination change deltas, plus the
+        # per-neighbour strategy reduction reused across refreshes.  A
+        # change to subscription rows of destination D affects the desired
+        # set of every neighbour except D; an advertisement row of
+        # destination D only gates what is forwarded *to* D.
+        self._covering_cache: CoveringCache = get_covering_cache()
+        self._forwarding_dirty: Dict[str, bool] = {}
+        self._selection_states: Dict[str, Any] = {}
+        # neighbour -> (advertisement-table epoch for that neighbour,
+        #               {filter key: overlap verdict}) — see _advertised_via.
+        self._advertised_via_cache: Dict[str, Tuple[int, Dict[Any, bool]]] = {}
+        # neighbour -> (selection list, {filter key: assigned cover});
+        # valid while the strategy returns the identical selection object.
+        self._cover_memo: Dict[str, Tuple[List[Filter], Dict[Any, Filter]]] = {}
+        # Bound for the two per-neighbour memo dicts above: they are
+        # cleared (not evicted entry-wise) when they grow past this, the
+        # same policy the global CoveringCache uses.
+        self._memo_limit = 65536
+        self.subscription_table.add_listener(self._on_subscription_rows_changed)
+        self.advertisement_table.add_listener(self._on_advertisement_rows_changed)
+
         # Border-broker state.
         self._clients: Dict[str, _ClientRegistration] = {}
         self._counterparts: Dict[str, VirtualCounterpart] = {}
@@ -179,6 +252,7 @@ class Broker:
         self._links[link.target] = link
         self._forwarded_subscriptions.setdefault(link.target, {})
         self._forwarded_advertisements.setdefault(link.target, {})
+        self._forwarding_dirty[link.target] = True
 
     def neighbours(self) -> List[str]:
         """Names of neighbouring brokers, sorted."""
@@ -445,6 +519,9 @@ class Broker:
         token = record.token
         self._logical_states[token] = state
         self._logical_forwarded_to[token] = set()
+        # Logical tokens are excluded from the generic refresh, so the set
+        # of logical states is an input of every neighbour's desired set.
+        self._mark_all_forwarding_dirty()
         self.subscription_table.add(record.filter, client_id, token)
         message = LocationDependentSubscribe(
             client_id=client_id,
@@ -599,6 +676,32 @@ class Broker:
     # ------------------------------------------------------------------
     # Subscription forwarding (the strategy-driven refresh primitive)
     # ------------------------------------------------------------------
+    def _on_subscription_rows_changed(self, destination: Optional[str]) -> None:
+        """Routing-table delta: rows of *destination* changed.
+
+        The desired forwarding set of neighbour ``N`` is computed from the
+        rows of every destination *except* ``N``, so only ``N ==
+        destination`` stays clean.
+        """
+        for neighbour in self._forwarding_dirty:
+            if neighbour != destination:
+                self._forwarding_dirty[neighbour] = True
+
+    def _on_advertisement_rows_changed(self, destination: Optional[str]) -> None:
+        """Advertisement delta: rows of *destination* changed.
+
+        Advertisements received from ``N`` gate which subscriptions are
+        forwarded *to* ``N``, so only that neighbour becomes dirty.
+        """
+        if destination is None:
+            self._mark_all_forwarding_dirty()
+        elif destination in self._forwarding_dirty:
+            self._forwarding_dirty[destination] = True
+
+    def _mark_all_forwarding_dirty(self) -> None:
+        for neighbour in self._forwarding_dirty:
+            self._forwarding_dirty[neighbour] = True
+
     def _refresh_all_forwarding(self, exclude: Optional[str] = None) -> None:
         for neighbour in self.neighbours():
             if neighbour == exclude:
@@ -607,17 +710,24 @@ class Broker:
 
     def refresh_forwarding(self, neighbour: str) -> None:
         """Bring the subscriptions forwarded to *neighbour* in line with the tables."""
+        incremental = self.config.incremental_forwarding
+        if incremental and not self._forwarding_dirty.get(neighbour, True):
+            # Nothing relevant to this neighbour changed since the last
+            # refresh, so the forwarded set already equals the desired set.
+            return
         desired = self._desired_forwarding(neighbour)
+        if incremental:
+            self._forwarding_dirty[neighbour] = False
         forwarded = self._forwarded_subscriptions[neighbour]
         to_add = {key: filt for key, filt in desired.items() if key not in forwarded}
         to_remove = {key: filt for key, filt in forwarded.items() if key not in desired}
         link = self._links[neighbour]
         # Subscribe before unsubscribing so covering replacements never
         # leave a gap in which matching notifications would not be routed.
-        for (filter_key, subject), filter_ in sorted(to_add.items(), key=lambda kv: repr(kv[0])):
+        for (filter_key, subject), filter_ in sorted(to_add.items(), key=_forwarding_sort_key):
             forwarded[(filter_key, subject)] = filter_
             link.send(Subscribe(filter_, subject=subject))
-        for (filter_key, subject), filter_ in sorted(to_remove.items(), key=lambda kv: repr(kv[0])):
+        for (filter_key, subject), filter_ in sorted(to_remove.items(), key=_forwarding_sort_key):
             del forwarded[(filter_key, subject)]
             link.send(Unsubscribe(filter_, subject=subject))
 
@@ -625,21 +735,38 @@ class Broker:
         """The (filter, subject) pairs that should be registered at *neighbour*."""
         if self.strategy.floods_notifications:
             return {}
+        incremental = self.config.incremental_forwarding
+        if (
+            incremental
+            and self.config.use_advertisements
+            and not self.advertisement_table.has_destination(neighbour)
+        ):
+            # No advertisement was ever received from this neighbour, so
+            # the gate below rejects every entry: skip the table scan.
+            return self._assign_covers_incremental(neighbour, [])
         entries = []
+        no_logical = not self._logical_states
         for entry in self.subscription_table.entries():
             if entry.destination == neighbour:
                 continue
             # Location-dependent subscriptions are propagated by their own
             # protocol (LocationDependentSubscribe / LocationUpdate), not by
             # the generic refresh.
-            plain_subjects = {
-                subject for subject in entry.subjects if subject not in self._logical_states
-            }
+            if no_logical:
+                # Read-only use of the entry's own subject set; avoids one
+                # set copy per entry on the hot path.
+                plain_subjects = entry.subjects
+            else:
+                plain_subjects = {
+                    subject for subject in entry.subjects if subject not in self._logical_states
+                }
             if not plain_subjects:
                 continue
             if self.config.use_advertisements and not self._advertised_via(neighbour, entry.filter):
                 continue
             entries.append((entry.filter, plain_subjects))
+        if incremental:
+            return self._assign_covers_incremental(neighbour, entries)
         if not entries:
             return {}
         filters = [filter_ for filter_, _ in entries]
@@ -655,6 +782,55 @@ class Broker:
                 desired[(cover.key(), subject)] = cover
         return desired
 
+    def _assign_covers_incremental(
+        self, neighbour: str, entries: Sequence[Tuple[Filter, Set[str]]]
+    ) -> Dict[Tuple[Any, str], Filter]:
+        """Incremental-path equivalent of the from-scratch tail of
+        :meth:`_desired_forwarding`: reuse the previous strategy reduction
+        and memoise both covering tests and per-filter cover assignment.
+        """
+        filters = [filter_ for filter_, _ in entries]
+        selected, state = self.strategy.update_forwarding_set(
+            self._selection_states.get(neighbour), filters, cache=self._covering_cache
+        )
+        self._selection_states[neighbour] = state
+        if not entries:
+            return {}
+        # Cover assignment depends only on the selection (content *and*
+        # order), so the per-filter-key memo stays valid for as long as the
+        # strategy keeps returning the very same selection list.
+        memo = self._cover_memo.get(neighbour)
+        if memo is None or memo[0] is not selected:
+            memo = (selected, {})
+            self._cover_memo[neighbour] = memo
+        cover_by_key = memo[1]
+        covers = self._covering_cache.covers
+        selected_by_key = None
+        desired: Dict[Tuple[Any, str], Filter] = {}
+        for filter_, subjects in entries:
+            filter_key = filter_.key()
+            cover = cover_by_key.get(filter_key)
+            if cover is None:
+                if len(cover_by_key) >= self._memo_limit:
+                    cover_by_key.clear()
+                if selected_by_key is None:
+                    selected_by_key = {candidate.key(): candidate for candidate in selected}
+                cover = selected_by_key.get(filter_key)
+                if cover is None:
+                    for candidate in selected:
+                        if covers(candidate, filter_):
+                            cover = candidate
+                            break
+                if cover is None:
+                    # The strategy should always produce a cover; fall back
+                    # to forwarding the filter itself to stay correct.
+                    cover = filter_
+                cover_by_key[filter_key] = cover
+            cover_key = cover.key()
+            for subject in subjects:
+                desired[(cover_key, subject)] = cover
+        return desired
+
     @staticmethod
     def _find_cover(selected: Sequence[Filter], filter_: Filter) -> Optional[Filter]:
         for candidate in selected:
@@ -666,11 +842,36 @@ class Broker:
         return None
 
     def _advertised_via(self, neighbour: str, filter_: Filter) -> bool:
-        """Whether an overlapping advertisement was received from *neighbour*."""
-        for entry in self.advertisement_table.entries_for_destination(neighbour):
-            if filters_overlap_hint(entry.filter, filter_):
-                return True
-        return False
+        """Whether an overlapping advertisement was received from *neighbour*.
+
+        In incremental mode the verdict is memoised per (neighbour, filter
+        key); the memo for a neighbour is discarded wholesale whenever that
+        neighbour's advertisement rows change (tracked by the table's
+        per-destination epoch), so it can never go stale.
+        """
+        if not self.config.incremental_forwarding:
+            for entry in self.advertisement_table.entries_for_destination(neighbour):
+                if filters_overlap_hint(entry.filter, filter_):
+                    return True
+            return False
+        epoch = self.advertisement_table.destination_epoch(neighbour)
+        cached = self._advertised_via_cache.get(neighbour)
+        if cached is None or cached[0] != epoch:
+            cached = (epoch, {})
+            self._advertised_via_cache[neighbour] = cached
+        verdicts = cached[1]
+        key = filter_.key()
+        verdict = verdicts.get(key)
+        if verdict is None:
+            if len(verdicts) >= self._memo_limit:
+                verdicts.clear()
+            verdict = False
+            for entry in self.advertisement_table.entries_for_destination(neighbour):
+                if filters_overlap_hint(entry.filter, filter_):
+                    verdict = True
+                    break
+            verdicts[key] = verdict
+        return verdict
 
     # ------------------------------------------------------------------
     # Physical mobility: relocation protocol (Section 4)
@@ -699,6 +900,9 @@ class Broker:
                 continue
             forwarded = self._forwarded_subscriptions[neighbour]
             forwarded[(message.filter.key(), token)] = message.filter
+            # The forwarded set was changed behind refresh_forwarding's
+            # back; force the next refresh to reconcile it.
+            self._forwarding_dirty[neighbour] = True
             self._links[neighbour].send(message)
             count += 1
         return count
@@ -966,6 +1170,7 @@ class Broker:
             hop_index=message.hop_index,
         )
         self._logical_states[token] = state
+        self._mark_all_forwarding_dirty()
         self.subscription_table.add(state.current_filter(), from_destination, token)
         self._forward_location_dependent_subscribe(message.for_next_hop(), exclude=from_destination)
 
@@ -977,6 +1182,8 @@ class Broker:
 
     def _teardown_logical_subscription(self, token: str, forward: bool = True) -> None:
         state = self._logical_states.pop(token, None)
+        if state is not None:
+            self._mark_all_forwarding_dirty()
         self.subscription_table.remove_subject(token)
         forwarded_to = self._logical_forwarded_to.pop(token, set())
         if state is None or not forward:

@@ -19,8 +19,30 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-from repro.filters.constraints import Constraint
+from repro.filters.constraints import Constraint, Equals, InSet
 from repro.filters.filter import Filter, MatchAll, MatchNone
+
+
+class CoveringStats:
+    """Process-wide counter of raw (uncached) covering evaluations.
+
+    Benchmarks and tests read :data:`covering_stats` to verify that the
+    covering cache actually eliminates recomputation on the broker hot
+    path; the counter only tracks genuine :func:`filter_covers` runs, not
+    cache hits.
+    """
+
+    __slots__ = ("filter_covers_calls",)
+
+    def __init__(self) -> None:
+        self.filter_covers_calls = 0
+
+    def reset(self) -> None:
+        self.filter_covers_calls = 0
+
+
+#: Global counters incremented by :func:`filter_covers`.
+covering_stats = CoveringStats()
 
 
 def constraint_covers(covering: Constraint, covered: Constraint) -> bool:
@@ -34,6 +56,7 @@ def filter_covers(covering: Filter, covered: Filter) -> bool:
     ``MatchAll`` covers everything; ``MatchNone`` is covered by everything
     and covers only ``MatchNone``.
     """
+    covering_stats.filter_covers_calls += 1
     if isinstance(covered, MatchNone):
         return True
     if isinstance(covering, MatchNone):
@@ -43,7 +66,7 @@ def filter_covers(covering: Filter, covered: Filter) -> bool:
     if isinstance(covered, MatchAll) or covered.is_empty():
         # A constrained filter can never cover the universal filter.
         return False
-    for name, covering_constraint in covering:
+    for name, covering_constraint in covering.constraint_items():
         covered_constraint = covered.constraint_for(name)
         if covered_constraint is None:
             # ``covered`` places no restriction on this attribute, so it
@@ -76,23 +99,33 @@ def filters_overlap_hint(left: Filter, right: Filter) -> bool:
     """
     if isinstance(left, MatchNone) or isinstance(right, MatchNone):
         return False
-    for name, left_constraint in left:
+    for name, left_constraint in left.constraint_items():
         right_constraint = right.constraint_for(name)
         if right_constraint is None:
             continue
-        left_key = left_constraint.key()
-        right_key = right_constraint.key()
-        if left_key[0] == "eq" and right_key[0] == "eq" and left_key != right_key:
-            return False
-        if left_key[0] == "in" and right_key[0] == "in":
-            if not (set(left_key[1]) & set(right_key[1])):
+        # Work on the constraint objects directly: ``key()`` rebuilds a
+        # sorted tuple (and the ``in`` branches used to build fresh sets)
+        # on every call, which made the hint allocate on the hot eq/eq
+        # path.  ``Constraint.matches`` reuses each InSet's canonical key
+        # dictionary, so every branch below is allocation-free.
+        left_is_eq = isinstance(left_constraint, Equals)
+        right_is_eq = isinstance(right_constraint, Equals)
+        if left_is_eq and right_is_eq:
+            if not right_constraint.matches(left_constraint.value):
                 return False
-        if left_key[0] == "eq" and right_key[0] == "in":
-            if left_key[1] not in set(right_key[1]):
+        elif left_is_eq and isinstance(right_constraint, InSet):
+            if not right_constraint.matches(left_constraint.value):
                 return False
-        if left_key[0] == "in" and right_key[0] == "eq":
-            if right_key[1] not in set(left_key[1]):
-                return False
+        elif isinstance(left_constraint, InSet):
+            if right_is_eq:
+                if not left_constraint.matches(right_constraint.value):
+                    return False
+            elif isinstance(right_constraint, InSet):
+                small, large = left_constraint, right_constraint
+                if len(small._by_key) > len(large._by_key):
+                    small, large = large, small
+                if not any(key in large._by_key for key in small._by_key):
+                    return False
     return True
 
 

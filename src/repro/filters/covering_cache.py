@@ -1,0 +1,240 @@
+"""Memoised covering tests and candidate-pruned cover-set reduction.
+
+The broker hot path (:meth:`repro.broker.base.Broker.refresh_forwarding`)
+reduces the registered filters of every neighbour with
+:func:`~repro.filters.covering.minimal_cover_set`, an O(n²) sweep of
+:func:`~repro.filters.covering.filter_covers` tests.  Routing changes
+re-run that sweep over almost exactly the same filters, so nearly all of
+the work is recomputation.  This module removes it in two independent
+ways:
+
+* :class:`CoveringCache` memoises ``filter_covers`` results keyed by the
+  two filters' canonical :meth:`~repro.filters.filter.Filter.key` tuples.
+  Covering is a pure function of filter structure, so cached results
+  **never need invalidation** — the cache survives arbitrary routing-table
+  churn and is safely shared by every broker in a process.
+* :class:`CoveringIndex` buckets potential covering filters by their most
+  selective constraint (equality/set values first, then attribute names),
+  mirroring the :class:`~repro.filters.matching.MatchingEngine` layout, so
+  that :func:`minimal_cover_set_cached` only tests pairs that could
+  possibly be related and skips provably incomparable ones.
+
+:func:`minimal_cover_set_cached` is result-identical to
+:func:`~repro.filters.covering.minimal_cover_set` (same kept filters,
+same order, same equivalence tie-breaking); the property tests in
+``tests/filters/test_covering_cache.py`` enforce this.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.filters.attributes import canonical_key, try_compare
+from repro.filters.constraints import Between, Constraint, Equals, InSet
+from repro.filters.covering import filter_covers
+from repro.filters.filter import Filter, MatchNone
+
+
+class CoveringCache:
+    """Memoise :func:`filter_covers` keyed by canonical filter-key pairs.
+
+    Covering depends only on the two filters' structure, and
+    ``Filter.key()`` is a canonical representation of that structure
+    (``MatchNone`` has a dedicated key; ``MatchAll`` and the empty filter
+    share one and also share covering behaviour).  The cache therefore
+    never requires invalidation.  A size cap bounds memory: when the cap
+    is reached the cache is simply cleared, trading a one-off warm-up for
+    a hard memory ceiling.
+    """
+
+    __slots__ = ("_results", "hits", "misses", "evictions", "max_entries")
+
+    def __init__(self, max_entries: int = 1_000_000) -> None:
+        self._results: Dict[Tuple[Any, Any], bool] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.max_entries = max_entries
+
+    def covers(self, covering: Filter, covered: Filter) -> bool:
+        """Cached equivalent of ``filter_covers(covering, covered)``."""
+        key = (covering.key(), covered.key())
+        cached = self._results.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        result = filter_covers(covering, covered)
+        if len(self._results) >= self.max_entries:
+            self._results.clear()
+            self.evictions += 1
+        self._results[key] = result
+        self.misses += 1
+        return result
+
+    def clear(self) -> None:
+        """Drop all cached results and reset the counters."""
+        self._results.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss accounting (used by benchmarks and tests)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._results),
+        }
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+
+#: The process-wide shared cache used by routing strategies and brokers.
+_GLOBAL_CACHE = CoveringCache()
+
+
+def get_covering_cache() -> CoveringCache:
+    """The shared process-wide covering cache."""
+    return _GLOBAL_CACHE
+
+
+def _finite_value_keys(constraint: Constraint) -> Optional[Tuple[Any, ...]]:
+    """Canonical keys of the constraint's accepted values, when finite.
+
+    Returns ``None`` for constraints accepting unboundedly many values
+    (ranges, prefixes, ``any``/``exists``...).  A filter whose constraint
+    on some attribute is *finite* can only be covered, on that attribute,
+    by a constraint accepting a superset of those values; conversely a
+    finite constraint can never cover an infinite one.  Both directions
+    are what makes the value buckets of :class:`CoveringIndex` sound.
+    """
+    if isinstance(constraint, Equals):
+        return (canonical_key(constraint.value),)
+    if isinstance(constraint, InSet):
+        # ``_by_key`` already holds the canonical keys (insertion order).
+        return tuple(constraint._by_key)
+    if isinstance(constraint, Between):
+        # Any zero-width interval accepts at most {low} — including the
+        # half-open ones (which accept nothing).  They must be classified
+        # finite: ``Between.covers`` lets a closed [x, x] cover a half-open
+        # [x, x), so a half-open target still needs to find value-bucketed
+        # coverers anchored at x.
+        ok, sign = try_compare(constraint.low, constraint.high)
+        if ok and sign == 0:
+            return (canonical_key(constraint.low),)
+    return None
+
+
+class CoveringIndex:
+    """Candidate-pruning index over potential covering filters.
+
+    Mirrors the :class:`~repro.filters.matching.MatchingEngine` bucket
+    layout: each indexed filter is anchored under its first finite-valued
+    strict constraint (one bucket per accepted value), falling back to its
+    first strict attribute name, falling back to a universal list for
+    filters with no strict constraint (which may cover anything).
+
+    For a target filter ``F``, :meth:`candidate_positions` returns a
+    **sound superset** of the indexed filters that can cover ``F``:
+
+    * a coverer's strict attributes must all be constrained by ``F``, so
+      anchoring on a strict attribute never hides a real coverer;
+    * a coverer anchored on value buckets accepts a finite value set on
+      that attribute, so it can only cover an ``F`` whose constraint there
+      is also finite and value-wise contained — in particular ``F``'s
+      first accepted value must be in the coverer's bucket.
+    """
+
+    __slots__ = ("_universal", "_by_attr", "_by_value")
+
+    def __init__(self) -> None:
+        self._universal: List[int] = []
+        self._by_attr: Dict[str, List[int]] = {}
+        self._by_value: Dict[Tuple[str, Any], List[int]] = {}
+
+    def add(self, position: int, filter_: Filter) -> None:
+        """Index *filter_* (a potential coverer) under *position*."""
+        anchor_attr: Optional[str] = None
+        anchor_values: Optional[Tuple[Any, ...]] = None
+        fallback_attr: Optional[str] = None
+        for name, constraint in filter_.constraint_items():
+            if constraint.matches_absent():
+                continue
+            values = _finite_value_keys(constraint)
+            if values is not None:
+                anchor_attr, anchor_values = name, values
+                break
+            if fallback_attr is None:
+                fallback_attr = name
+        if anchor_attr is not None and anchor_values:
+            for value in anchor_values:
+                self._by_value.setdefault((anchor_attr, value), []).append(position)
+        elif fallback_attr is not None:
+            self._by_attr.setdefault(fallback_attr, []).append(position)
+        else:
+            self._universal.append(position)
+
+    def candidate_positions(self, filter_: Filter) -> Optional[List[int]]:
+        """Positions of indexed filters that might cover *filter_*.
+
+        Returns ``None`` when every indexed filter must be considered
+        (``MatchNone`` is covered by everything).
+        """
+        if isinstance(filter_, MatchNone):
+            return None
+        out = list(self._universal)
+        by_attr = self._by_attr
+        by_value = self._by_value
+        for name, constraint in filter_.constraint_items():
+            bucket = by_attr.get(name)
+            if bucket:
+                out.extend(bucket)
+            values = _finite_value_keys(constraint)
+            if values:
+                value_bucket = by_value.get((name, values[0]))
+                if value_bucket:
+                    out.extend(value_bucket)
+        return out
+
+
+def minimal_cover_set_cached(
+    filters: Sequence[Filter], cache: Optional[CoveringCache] = None
+) -> List[Filter]:
+    """Result-identical, cached and candidate-pruned ``minimal_cover_set``.
+
+    Same semantics as :func:`repro.filters.covering.minimal_cover_set`: a
+    filter is dropped when another (distinct) filter in the set covers it;
+    of two equivalent filters the one appearing first is kept; input
+    order is preserved.  Covering tests go through *cache* (the shared
+    global cache by default) and only structurally comparable pairs —
+    per :class:`CoveringIndex` — are tested at all.
+    """
+    if cache is None:
+        cache = _GLOBAL_CACHE
+    count = len(filters)
+    if count <= 1:
+        return list(filters)
+    index = CoveringIndex()
+    for position, filter_ in enumerate(filters):
+        index.add(position, filter_)
+    covers = cache.covers
+    kept: List[Filter] = []
+    everything = range(count)
+    for position, candidate in enumerate(filters):
+        candidates = index.candidate_positions(candidate)
+        positions: Iterable[int] = everything if candidates is None else candidates
+        redundant = False
+        for other_position in positions:
+            if other_position == position:
+                continue
+            if covers(filters[other_position], candidate):
+                if other_position > position and covers(candidate, filters[other_position]):
+                    # Equivalent filters: keep the earlier one (candidate).
+                    continue
+                redundant = True
+                break
+        if not redundant:
+            kept.append(candidate)
+    return kept

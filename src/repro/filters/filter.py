@@ -103,6 +103,15 @@ class Filter:
     def __iter__(self) -> Iterator[Tuple[str, Constraint]]:
         return iter(sorted(self._constraints.items()))
 
+    def constraint_items(self):
+        """Constraint mapping items without sorting or copying.
+
+        Hot paths (covering tests, overlap hints, index construction) that
+        do not care about attribute order should prefer this over
+        ``__iter__``, which sorts (and therefore allocates) on every call.
+        """
+        return self._constraints.items()
+
     def __len__(self) -> int:
         return len(self._constraints)
 

@@ -104,7 +104,7 @@ def _merge_intervals(left: Between, right: Between) -> Optional[Between]:
     return Between(first.low, high, low_inclusive=low_inclusive, high_inclusive=high_inclusive)
 
 
-def try_merge_pair(left: Filter, right: Filter) -> Optional[Filter]:
+def try_merge_pair(left: Filter, right: Filter, covers=filter_covers) -> Optional[Filter]:
     """Perfectly merge two filters when possible.
 
     A perfect merge exists when:
@@ -114,15 +114,18 @@ def try_merge_pair(left: Filter, right: Filter) -> Optional[Filter]:
       most one of them, and that attribute's constraints have a perfect
       single-constraint union.
 
-    Returns ``None`` when no perfect merge is found.
+    Returns ``None`` when no perfect merge is found.  *covers* lets
+    callers substitute a memoised covering test (see
+    :class:`repro.filters.covering_cache.CoveringCache`) without changing
+    semantics.
     """
     if isinstance(left, MatchNone):
         return right
     if isinstance(right, MatchNone):
         return left
-    if filter_covers(left, right):
+    if covers(left, right):
         return left
-    if filter_covers(right, left):
+    if covers(right, left):
         return right
 
     left_names = set(left.attribute_names())
@@ -146,14 +149,16 @@ def try_merge_pair(left: Filter, right: Filter) -> Optional[Filter]:
     return left.with_constraint(name, merged_constraint)
 
 
-def merge_filters(filters: Sequence[Filter]) -> List[Filter]:
+def merge_filters(filters: Sequence[Filter], covers=filter_covers) -> List[Filter]:
     """Greedily merge a collection of filters.
 
     Repeatedly merges any pair with a perfect merge until no further merge
     is possible.  The result is a (usually much smaller) list of filters
     whose union of accepted notifications equals the union of the input
     filters.  Input order is preserved as far as possible so that routing
-    tables stay stable.
+    tables stay stable.  *covers* is forwarded to
+    :func:`try_merge_pair` so the covering-heavy part of merging can run
+    against a shared memoised test.
     """
     working: List[Filter] = [f for f in filters if not isinstance(f, MatchNone)]
     if not working:
@@ -170,7 +175,7 @@ def merge_filters(filters: Sequence[Filter]) -> List[Filter]:
             for j in range(i + 1, len(working)):
                 if consumed[j]:
                     continue
-                merged = try_merge_pair(current, working[j])
+                merged = try_merge_pair(current, working[j], covers=covers)
                 if merged is not None:
                     current = merged
                     consumed[j] = True

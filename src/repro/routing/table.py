@@ -38,7 +38,16 @@ class RoutingEntry:
 
 
 class RoutingTable:
-    """Routing table: filters keyed by destination, indexed for matching."""
+    """Routing table: filters keyed by destination, indexed for matching.
+
+    The table publishes its changes so dependents can maintain incremental
+    state: every observable mutation bumps :attr:`epoch` and invokes the
+    registered change listeners with the affected destination (``None``
+    for whole-table operations such as :meth:`clear`).  Brokers use these
+    per-destination deltas for dirty tracking — a change to rows of
+    destination ``D`` can only affect the desired forwarding of neighbours
+    other than ``D``.
+    """
 
     def __init__(self) -> None:
         # (filter key, destination) -> entry
@@ -47,10 +56,43 @@ class RoutingTable:
         self._index = MatchingEngine()
         # destination -> set of filter keys
         self._by_destination: Dict[str, Set[Any]] = defaultdict(set)
+        # change publication
+        self._epoch = 0
+        self._destination_epochs: Dict[str, int] = {}
+        self._listeners: List[Any] = []
 
     @staticmethod
     def _filter_key(filter_: Filter) -> Any:
         return (type(filter_).__name__ == "MatchNone", filter_.key())
+
+    # -- change publication ------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Monotonic counter bumped by every observable mutation."""
+        return self._epoch
+
+    def destination_epoch(self, destination: str) -> int:
+        """Epoch of the last change affecting rows of *destination* (0 if none)."""
+        return self._destination_epochs.get(destination, 0)
+
+    def add_listener(self, listener) -> None:
+        """Register ``listener(destination)`` to be called on every change.
+
+        *destination* is the destination whose rows changed, or ``None``
+        when the whole table changed at once (:meth:`clear`).
+        """
+        self._listeners.append(listener)
+
+    def _notify(self, destination: Optional[str]) -> None:
+        self._epoch += 1
+        if destination is not None:
+            self._destination_epochs[destination] = self._epoch
+        else:
+            # Whole-table change: every destination's rows may have changed.
+            for known in self._destination_epochs:
+                self._destination_epochs[known] = self._epoch
+        for listener in self._listeners:
+            listener(destination)
 
     # -- mutation ---------------------------------------------------------
     def add(self, filter_: Filter, destination: str, subject: str) -> bool:
@@ -61,12 +103,15 @@ class RoutingTable:
         key = (self._filter_key(filter_), destination)
         entry = self._entries.get(key)
         if entry is not None:
-            entry.subjects.add(subject)
+            if subject not in entry.subjects:
+                entry.subjects.add(subject)
+                self._notify(destination)
             return False
         entry = RoutingEntry(filter=filter_, destination=destination, subjects={subject})
         self._entries[key] = entry
         self._index.add(filter_, destination)
         self._by_destination[destination].add(self._filter_key(filter_))
+        self._notify(destination)
         return True
 
     def remove(self, filter_: Filter, destination: str, subject: Optional[str] = None) -> bool:
@@ -81,8 +126,11 @@ class RoutingTable:
         if entry is None:
             return False
         if subject is not None:
+            if subject not in entry.subjects:
+                return False
             entry.subjects.discard(subject)
             if entry.subjects:
+                self._notify(destination)
                 return False
         del self._entries[key]
         self._index.remove(filter_, destination)
@@ -91,6 +139,7 @@ class RoutingTable:
             bucket.discard(self._filter_key(filter_))
             if not bucket:
                 del self._by_destination[destination]
+        self._notify(destination)
         return True
 
     def remove_subject(self, subject: str) -> List[RoutingEntry]:
@@ -109,6 +158,7 @@ class RoutingTable:
                         bucket.discard(self._filter_key(entry.filter))
                         if not bucket:
                             del self._by_destination[entry.destination]
+                self._notify(entry.destination)
         return removed
 
     def remove_destination(self, destination: str) -> List[RoutingEntry]:
@@ -121,13 +171,18 @@ class RoutingTable:
                 del self._entries[key]
                 self._index.remove(entry.filter, entry.destination)
         self._by_destination.pop(destination, None)
+        if removed:
+            self._notify(destination)
         return removed
 
     def clear(self) -> None:
         """Remove every row."""
+        had_entries = bool(self._entries)
         self._entries.clear()
         self._index.clear()
         self._by_destination.clear()
+        if had_entries:
+            self._notify(None)
 
     # -- queries -----------------------------------------------------------
     def matching_destinations(self, attributes: Mapping[str, Any]) -> Set[str]:
@@ -168,6 +223,10 @@ class RoutingTable:
     def destinations(self) -> List[str]:
         """All destinations that have at least one row, sorted."""
         return sorted(self._by_destination)
+
+    def has_destination(self, destination: str) -> bool:
+        """O(1): ``True`` when at least one row points at *destination*."""
+        return destination in self._by_destination
 
     def has_entry(self, filter_: Filter, destination: str) -> bool:
         """``True`` when an exact (filter, destination) row exists."""

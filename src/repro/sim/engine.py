@@ -25,7 +25,7 @@ class Event:
     skipped when popped (standard lazy deletion).
     """
 
-    __slots__ = ("time", "order", "callback", "args", "kwargs", "cancelled", "label")
+    __slots__ = ("time", "order", "callback", "args", "kwargs", "cancelled", "label", "_on_cancel")
 
     def __init__(
         self,
@@ -35,6 +35,7 @@ class Event:
         args: Tuple[Any, ...],
         kwargs: dict,
         label: str = "",
+        on_cancel: Optional[Callable[[], None]] = None,
     ) -> None:
         self.time = time
         self.order = order
@@ -43,10 +44,15 @@ class Event:
         self.kwargs = kwargs
         self.cancelled = False
         self.label = label
+        self._on_cancel = on_cancel
 
     def cancel(self) -> None:
         """Prevent the event's callback from running."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._on_cancel is not None:
+            self._on_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.order) < (other.time, other.order)
@@ -72,6 +78,9 @@ class Simulator:
         self._order = itertools.count()
         self._processed = 0
         self._running = False
+        # Live count of scheduled, not-yet-cancelled, not-yet-executed
+        # events, so pending_events() does not scan the whole heap.
+        self._live = 0
 
     # -- clock -------------------------------------------------------------
     @property
@@ -85,8 +94,11 @@ class Simulator:
         return self._processed
 
     def pending_events(self) -> int:
-        """Number of scheduled, not-yet-cancelled events."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of scheduled, not-yet-cancelled events (O(1))."""
+        return self._live
+
+    def _note_cancelled(self) -> None:
+        self._live -= 1
 
     # -- scheduling ----------------------------------------------------------
     def schedule(
@@ -115,8 +127,17 @@ class Simulator:
             raise SimulationError(
                 "cannot schedule an event in the past (time={} < now={})".format(time, self._now)
             )
-        event = Event(float(time), next(self._order), callback, args, kwargs, label=label)
+        event = Event(
+            float(time),
+            next(self._order),
+            callback,
+            args,
+            kwargs,
+            label=label,
+            on_cancel=self._note_cancelled,
+        )
         heapq.heappush(self._queue, event)
+        self._live += 1
         return event
 
     # -- execution --------------------------------------------------------------
@@ -128,7 +149,12 @@ class Simulator:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                # Already subtracted from the live count when cancelled.
                 continue
+            self._live -= 1
+            # The event has left the queue; a late cancel() must not touch
+            # the live count again.
+            event._on_cancel = None
             self._now = event.time
             event.callback(*event.args, **event.kwargs)
             self._processed += 1

@@ -123,3 +123,73 @@ class TestIndexedAndScanned:
         for notification in notifications:
             expected = {i for i, f in enumerate(filters) if f.matches(notification)}
             assert engine.matching_payloads(notification) == expected
+
+
+class TestRemovalAndIndexPositions:
+    """Removal bookkeeping and index-position edge cases.
+
+    The engine remembers which equality bucket (or the scan list) each
+    filter was registered under; these tests pin down the cleanup paths
+    the covering/forwarding refactor leans on.
+    """
+
+    def test_removal_cleans_equality_bucket(self):
+        engine = MatchingEngine()
+        engine.add(F(service="parking"), "x")
+        assert engine.remove(F(service="parking"), "x")
+        assert engine._equality_index == {}
+        assert engine._index_position == {}
+        assert engine._scan_list == set()
+
+    def test_removal_cleans_scan_list(self):
+        engine = MatchingEngine()
+        engine.add(F(cost=("<", 3)), "x")
+        assert engine.remove(F(cost=("<", 3)), "x")
+        assert engine._scan_list == set()
+        assert engine._index_position == {}
+
+    def test_index_position_is_lexicographically_smallest_equality(self):
+        engine = MatchingEngine()
+        engine.add(F(zebra="z", alpha="a", cost=("<", 3)), "x")
+        ((position, keys),) = engine._equality_index.items()
+        assert position[0] == "alpha"
+        assert len(keys) == 1
+
+    def test_shared_bucket_survives_partial_removal(self):
+        engine = MatchingEngine()
+        engine.add(F(service="parking"), "x")
+        engine.add(F(service="parking", cost=("<", 3)), "y")
+        assert engine.remove_filter(F(service="parking"))
+        # The bucket for (service, parking) must still index the second filter.
+        assert engine.matching_payloads({"service": "parking", "cost": 1}) == {"y"}
+
+    def test_remove_absent_payload_is_a_noop(self):
+        engine = MatchingEngine()
+        engine.add(F(a=1), "x")
+        assert engine.remove(F(a=1), "y") is False
+        assert engine.matching_payloads({"a": 1}) == {"x"}
+
+    def test_readd_after_removal_reindexes(self):
+        engine = MatchingEngine()
+        engine.add(F(service="parking"), "x")
+        engine.remove(F(service="parking"), "x")
+        engine.add(F(service="parking"), "z")
+        assert engine.matching_payloads({"service": "parking"}) == {"z"}
+
+    def test_equal_numeric_values_share_one_bucket(self):
+        engine = MatchingEngine()
+        engine.add(F(cost=1), "int")
+        engine.add(F(cost=1.0), "float")
+        # 1 and 1.0 are the same number: one entry, two payloads.
+        assert len(engine) == 1
+        assert engine.matching_payloads({"cost": 1}) == {"int", "float"}
+        assert engine.remove(F(cost=1.0), "int")
+        assert engine.matching_payloads({"cost": 1}) == {"float"}
+
+    def test_unhashable_notification_value_falls_back_to_scan(self):
+        engine = MatchingEngine()
+        engine.add(F(service="parking"), "eq")
+        engine.add(F(cost=("<", 3)), "scan")
+        # A list-valued attribute cannot be hashed into the equality index;
+        # the engine must not crash and the scan list must still be used.
+        assert engine.matching_payloads({"service": ["not", "hashable"], "cost": 2}) == {"scan"}

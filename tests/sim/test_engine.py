@@ -133,3 +133,27 @@ class TestRunControl:
         simulator.schedule(1.0, forever)
         with pytest.raises(SimulationError):
             simulator.drain(settle_limit=50)
+
+
+class TestPendingEventCounter:
+    def test_cancel_after_execution_does_not_corrupt_count(self):
+        simulator = Simulator()
+        executed = simulator.schedule(1.0, lambda: None)
+        pending = simulator.schedule(2.0, lambda: None)
+        simulator.step()
+        assert simulator.pending_events() == 1
+        # A late (and even repeated) cancel of the already-executed event
+        # must not touch the live count.
+        executed.cancel()
+        executed.cancel()
+        assert simulator.pending_events() == 1
+        pending.cancel()
+        assert simulator.pending_events() == 0
+
+    def test_double_cancel_counts_once(self):
+        simulator = Simulator()
+        event = simulator.schedule(1.0, lambda: None)
+        simulator.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert simulator.pending_events() == 1
