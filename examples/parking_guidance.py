@@ -38,7 +38,7 @@ def main() -> None:
     plan = UncertaintyPlan.adaptive(dwell_time=5.0, hop_delays=[0.02, 0.02, 0.02])
     print("uncertainty plan:", plan.describe())
 
-    subscription = car.subscribe_location_dependent(
+    car.subscribe_location_dependent(
         {"service": "parking", "location": MYLOC},
         movement_graph=streets,
         plan=plan,

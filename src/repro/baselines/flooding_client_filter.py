@@ -18,7 +18,7 @@ interface as the re-subscription baseline so experiments can swap them.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, List, Mapping, Optional
 
 from repro.broker.base import Broker
 from repro.broker.client import Client

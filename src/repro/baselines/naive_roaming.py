@@ -22,7 +22,7 @@ and performs relocations without any middleware support:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.broker.base import Broker
 from repro.broker.client import Client

@@ -15,7 +15,7 @@ location and a subscription for the new one.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, List, Mapping, Optional
 
 from repro.broker.base import Broker
 from repro.broker.client import Client

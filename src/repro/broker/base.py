@@ -28,13 +28,14 @@ keeps the broker's behaviour consistent across all of them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.location_filter import (
     LocationDependentFilter,
     LocationDependentSubscribe,
     LocationDependentUnsubscribe,
 )
+from repro.broker.forwarding import NeighbourForwardingState
 from repro.core.logical import LogicalSubscriptionState
 from repro.core.physical import RelocationBuffer, RelocationRecord, VirtualCounterpart
 from repro.filters.covering import filter_covers, filters_overlap_hint
@@ -49,8 +50,8 @@ from repro.messages.mobility import (
     RelocationComplete,
     Replay,
 )
-from repro.messages.notification import Notification, SequencedNotification
-from repro.routing.strategies import RoutingStrategy, make_strategy
+from repro.messages.notification import Notification
+from repro.routing.strategies import RoutingStrategy
 from repro.routing.table import RoutingTable
 from repro.sim.engine import Simulator
 from repro.sim.network import Link
@@ -132,12 +133,25 @@ class BrokerConfig:
         When ``False``, every refresh recomputes everything from scratch
         (the original behaviour, kept as the benchmark baseline).  Both
         modes produce identical messages and routing tables.
+    delta_forwarding:
+        When ``True`` (the default) *and* ``incremental_forwarding`` is
+        on *and* the strategy supports it (see
+        :attr:`~repro.routing.strategies.RoutingStrategy.delta_reduction`),
+        each neighbour's desired forwarding set is maintained **as a
+        delta-driven cache**: routing-table row changes are applied
+        directly to the cached desired dict (including cover
+        reassignment when an added/removed filter changes the minimal
+        cover selection), so a routing change costs O(affected entries)
+        instead of a Θ(table) rescan per dirty refresh.  When ``False``,
+        the PR 1 per-refresh incremental path is used.  All three modes
+        produce identical messages, routing tables and deliveries.
     """
 
     use_advertisements: bool = True
     counterpart_max_buffer: Optional[int] = None
     propagate_unchanged_location_updates: bool = True
     incremental_forwarding: bool = True
+    delta_forwarding: bool = True
 
 
 @dataclass
@@ -202,6 +216,20 @@ class Broker:
         self._covering_cache: CoveringCache = get_covering_cache()
         self._forwarding_dirty: Dict[str, bool] = {}
         self._selection_states: Dict[str, Any] = {}
+        # Delta-driven desired sets: one NeighbourForwardingState per
+        # neighbour, fed by the subscription table's row-level deltas.
+        # Active when both config flags are on and the strategy's
+        # reduction can be maintained incrementally.
+        self._delta_mode = (
+            self.config.incremental_forwarding
+            and self.config.delta_forwarding
+            and strategy.delta_reduction is not None
+            and not strategy.floods_notifications
+        )
+        self._delta_covers = (
+            self._covering_cache.covers if strategy.delta_reduction == "covering" else None
+        )
+        self._delta_states: Dict[str, NeighbourForwardingState] = {}
         # neighbour -> (advertisement-table epoch for that neighbour,
         #               {filter key: overlap verdict}) — see _advertised_via.
         self._advertised_via_cache: Dict[str, Tuple[int, Dict[Any, bool]]] = {}
@@ -214,6 +242,8 @@ class Broker:
         self._memo_limit = 65536
         self.subscription_table.add_listener(self._on_subscription_rows_changed)
         self.advertisement_table.add_listener(self._on_advertisement_rows_changed)
+        if self._delta_mode:
+            self.subscription_table.add_delta_listener(self)
 
         # Border-broker state.
         self._clients: Dict[str, _ClientRegistration] = {}
@@ -253,6 +283,8 @@ class Broker:
         self._forwarded_subscriptions.setdefault(link.target, {})
         self._forwarded_advertisements.setdefault(link.target, {})
         self._forwarding_dirty[link.target] = True
+        if self._delta_mode and link.target not in self._delta_states:
+            self._delta_states[link.target] = NeighbourForwardingState(self._delta_covers)
 
     def neighbours(self) -> List[str]:
         """Names of neighbouring brokers, sorted."""
@@ -695,12 +727,64 @@ class Broker:
         """
         if destination is None:
             self._mark_all_forwarding_dirty()
-        elif destination in self._forwarding_dirty:
+            return
+        if destination in self._forwarding_dirty:
             self._forwarding_dirty[destination] = True
+        # Advertisements gate which filters enter this neighbour's input;
+        # the per-filter verdicts may flip wholesale, so the delta state
+        # must be rebuilt from the table on its next refresh.
+        state = self._delta_states.get(destination)
+        if state is not None:
+            state.valid = False
 
     def _mark_all_forwarding_dirty(self) -> None:
         for neighbour in self._forwarding_dirty:
             self._forwarding_dirty[neighbour] = True
+        # Logical-mobility changes (the callers of this method) alter
+        # which subjects count as plain, which the delta states gate on:
+        # rebuild them from the table on their next refresh.
+        for state in self._delta_states.values():
+            state.valid = False
+
+    # ------------------------------------------------------------------
+    # Routing-table delta listener (see RoutingTable.add_delta_listener):
+    # applies row-level changes directly to the cached per-neighbour
+    # desired sets, making routing changes O(affected entries).
+    # ------------------------------------------------------------------
+    def row_subject_added(self, row, subject: str, created_row: bool) -> None:
+        if subject in self._logical_states or isinstance(row.filter, MatchNone):
+            return
+        filter_ = row.filter
+        destination = row.destination
+        use_advertisements = self.config.use_advertisements
+        for neighbour, state in self._delta_states.items():
+            if neighbour == destination or not state.valid:
+                continue
+            if use_advertisements and not self._advertised_via(neighbour, filter_):
+                continue
+            state.add_contribution(filter_, subject, row.seq)
+
+    def row_subjects_removed(self, row, subjects: Sequence[str], removed_row: bool) -> None:
+        if isinstance(row.filter, MatchNone):
+            return
+        plain = [subject for subject in subjects if subject not in self._logical_states]
+        if not plain:
+            return
+        filter_ = row.filter
+        filter_key = filter_.key()
+        destination = row.destination
+        use_advertisements = self.config.use_advertisements
+        for neighbour, state in self._delta_states.items():
+            if neighbour == destination or not state.valid:
+                continue
+            if use_advertisements and not self._advertised_via(neighbour, filter_):
+                continue
+            for subject in plain:
+                state.remove_contribution(filter_key, subject, row.seq)
+
+    def table_reset(self) -> None:
+        for state in self._delta_states.values():
+            state.valid = False
 
     def _refresh_all_forwarding(self, exclude: Optional[str] = None) -> None:
         for neighbour in self.neighbours():
@@ -715,12 +799,35 @@ class Broker:
             # Nothing relevant to this neighbour changed since the last
             # refresh, so the forwarded set already equals the desired set.
             return
+        if self._delta_mode:
+            state = self._delta_states[neighbour]
+            if not state.valid:
+                self._rebuild_delta_state(neighbour, state)
+            elif state.order_dirty:
+                # Canonical input positions shifted (a filter's first
+                # contributing row died while later rows survived):
+                # re-reduce from the maintained entries — no table scan.
+                state.rebuild_reduction(self._covering_cache)
+            self._forwarding_dirty[neighbour] = False
+            forwarded = self._forwarded_subscriptions[neighbour]
+            to_add, to_remove = state.diff_against(forwarded)
+            self._emit_forwarding_diff(neighbour, forwarded, to_add, to_remove)
+            return
         desired = self._desired_forwarding(neighbour)
         if incremental:
             self._forwarding_dirty[neighbour] = False
         forwarded = self._forwarded_subscriptions[neighbour]
         to_add = {key: filt for key, filt in desired.items() if key not in forwarded}
         to_remove = {key: filt for key, filt in forwarded.items() if key not in desired}
+        self._emit_forwarding_diff(neighbour, forwarded, to_add, to_remove)
+
+    def _emit_forwarding_diff(
+        self,
+        neighbour: str,
+        forwarded: Dict[Tuple[Any, str], Filter],
+        to_add: Dict[Tuple[Any, str], Filter],
+        to_remove: Dict[Tuple[Any, str], Filter],
+    ) -> None:
         link = self._links[neighbour]
         # Subscribe before unsubscribing so covering replacements never
         # leave a gap in which matching notifications would not be routed.
@@ -730,6 +837,30 @@ class Broker:
         for (filter_key, subject), filter_ in sorted(to_remove.items(), key=_forwarding_sort_key):
             del forwarded[(filter_key, subject)]
             link.send(Unsubscribe(filter_, subject=subject))
+
+    def _rebuild_delta_state(self, neighbour: str, state: NeighbourForwardingState) -> None:
+        """Rebuild a neighbour's delta state from one subscription-table scan."""
+        no_logical = not self._logical_states
+        use_advertisements = self.config.use_advertisements
+
+        def plain_subjects(row):
+            if row.destination == neighbour or isinstance(row.filter, MatchNone):
+                return None
+            if no_logical:
+                subjects = row.subjects
+            else:
+                subjects = [
+                    subject for subject in row.subjects if subject not in self._logical_states
+                ]
+                if not subjects:
+                    return None
+            if use_advertisements and not self._advertised_via(neighbour, row.filter):
+                return None
+            return subjects
+
+        state.rebuild_from_rows(
+            self.subscription_table.entries(), plain_subjects, self._covering_cache
+        )
 
     def _desired_forwarding(self, neighbour: str) -> Dict[Tuple[Any, str], Filter]:
         """The (filter, subject) pairs that should be registered at *neighbour*."""
@@ -748,6 +879,12 @@ class Broker:
         no_logical = not self._logical_states
         for entry in self.subscription_table.entries():
             if entry.destination == neighbour:
+                continue
+            # A MatchNone subscription accepts nothing: forwarding it
+            # upstream would only cost administrative traffic.  Every
+            # forwarding mode skips such rows (the delta path drops them
+            # in row_subject_added / _rebuild_delta_state).
+            if isinstance(entry.filter, MatchNone):
                 continue
             # Location-dependent subscriptions are propagated by their own
             # protocol (LocationDependentSubscribe / LocationUpdate), not by
@@ -903,6 +1040,9 @@ class Broker:
             # The forwarded set was changed behind refresh_forwarding's
             # back; force the next refresh to reconcile it.
             self._forwarding_dirty[neighbour] = True
+            state = self._delta_states.get(neighbour)
+            if state is not None:
+                state.full_diff = True
             self._links[neighbour].send(message)
             count += 1
         return count

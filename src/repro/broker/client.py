@@ -20,11 +20,11 @@ and sequence number), which the QoS checkers and experiments consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.adaptivity import UncertaintyPlan
-from repro.core.location_filter import MYLOC, LocationDependentFilter
+from repro.core.location_filter import LocationDependentFilter
 from repro.core.ploc import MovementGraph
 from repro.filters.filter import Filter
 from repro.messages.notification import Notification

@@ -37,12 +37,14 @@ class PubSubNetwork:
         simulator: Optional[Simulator] = None,
         trace: Optional[TraceRecorder] = None,
         config: Optional[BrokerConfig] = None,
+        batch_links: bool = True,
     ) -> None:
         graph.validate()
         self.graph = graph
         self.simulator = simulator or Simulator()
         self.trace = trace or TraceRecorder()
         self.config = config or BrokerConfig()
+        self.batch_links = batch_links
         if isinstance(strategy, str):
             strategy_factory: Callable[[], RoutingStrategy] = lambda: make_strategy(strategy)
         else:
@@ -90,6 +92,7 @@ class PubSubNetwork:
             deliver=right_broker.receive,
             latency=self._latency_model(left, right),
             trace=self.trace,
+            batch=self.batch_links,
         )
         backward = Link(
             simulator=self.simulator,
@@ -98,6 +101,7 @@ class PubSubNetwork:
             deliver=left_broker.receive,
             latency=self._latency_model(right, left),
             trace=self.trace,
+            batch=self.batch_links,
         )
         left_broker.add_link(forward)
         right_broker.add_link(backward)

@@ -14,7 +14,6 @@ reproduction artefacts without writing any code:
 from __future__ import annotations
 
 import argparse
-import sys
 from typing import List, Optional
 
 from repro.experiments import (

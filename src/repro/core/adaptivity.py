@@ -26,7 +26,7 @@ The worked example (Δ = 100 ms, δ = 120, 50, 50, 20 ms) yields levels
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+from typing import FrozenSet, List, Sequence
 
 from repro.core.ploc import Location, MovementGraph, PlocFunction
 

@@ -22,7 +22,7 @@ amount the budget can grow per step.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generic, Iterable, Mapping, Optional, Tuple, TypeVar
+from typing import Any, Callable, Generic, Iterable, Mapping, Optional, Tuple, TypeVar
 
 from repro.filters.constraints import Constraint, LessEqual
 from repro.filters.filter import Filter

@@ -20,7 +20,7 @@ network; each broker derives its own per-hop filter from it.
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
 
 from repro.core.adaptivity import UncertaintyPlan
 from repro.core.ploc import Location, MovementGraph

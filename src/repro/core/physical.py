@@ -24,8 +24,8 @@ and the overflow counters let experiments quantify exactly that boundary.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.filters.filter import Filter
 from repro.messages.notification import Notification, SequencedNotification

@@ -22,12 +22,11 @@ delivers the event exactly once in both cases.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.baselines.naive_roaming import NaiveRoamingClient
 from repro.broker.client import Client
 from repro.broker.network import PubSubNetwork
-from repro.filters.filter import Filter
 from repro.topology.builders import line_topology
 
 #: Filter used by the roaming consumer in all cases.

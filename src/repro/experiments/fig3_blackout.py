@@ -19,7 +19,6 @@ instant were delivered.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
 
 from repro.baselines.flooding_client_filter import FloodingLocationConsumer
 from repro.baselines.resubscribe import ResubscribingLocationConsumer

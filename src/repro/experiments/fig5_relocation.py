@@ -15,8 +15,8 @@ sender-FIFO order, and garbage collection of the virtual counterpart.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.broker.client import Client
 from repro.broker.network import PubSubNetwork

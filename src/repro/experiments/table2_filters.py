@@ -28,7 +28,6 @@ from repro.core.adaptivity import UncertaintyPlan
 from repro.core.location_filter import MYLOC
 from repro.core.logical import location_sets_chain
 from repro.core.ploc import MovementGraph
-from repro.filters.constraints import InSet
 from repro.topology.builders import line_topology
 
 #: The values printed in the paper's Table 2 (keyed by time step, then hop).

@@ -16,7 +16,7 @@ filter covers the whole location set.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional
+from typing import Dict, FrozenSet, Optional
 
 from repro.baselines.endpoints import flooding_endpoint_plan, global_subunsub_plan
 from repro.core.ploc import MovementGraph, PlocFunction, format_ploc_table

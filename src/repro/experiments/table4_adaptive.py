@@ -20,7 +20,7 @@ B2 and B3 (δ₁+δ₂ = 170 < 2Δ), and another step between B3 and B4
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence
 
 from repro.core.adaptivity import UncertaintyPlan, adaptive_levels
 from repro.core.ploc import MovementGraph, PlocFunction, format_ploc_table

@@ -17,8 +17,7 @@ Siena.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, FrozenSet, Iterable, Optional, Tuple
+from typing import Any, FrozenSet, Iterable, Tuple
 
 from repro.filters.attributes import (
     TYPE_NUMBER,

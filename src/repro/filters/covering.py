@@ -17,7 +17,7 @@ the completeness of the pairwise constraint tests.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence
 
 from repro.filters.constraints import Constraint, Equals, InSet
 from repro.filters.filter import Filter, MatchAll, MatchNone

@@ -17,15 +17,9 @@ Two singleton-like special filters exist:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
 
-from repro.filters.constraints import (
-    AnyValue,
-    Constraint,
-    Equals,
-    InSet,
-    constraint_from_tuple,
-)
+from repro.filters.constraints import Constraint, constraint_from_tuple
 
 
 class Filter:

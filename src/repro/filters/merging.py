@@ -21,22 +21,11 @@ Rebeca routing evaluation the paper cites [21].
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
-from repro.filters.constraints import (
-    AnyValue,
-    Between,
-    Constraint,
-    Equals,
-    GreaterEqual,
-    GreaterThan,
-    InSet,
-    LessEqual,
-    LessThan,
-    Prefix,
-)
+from repro.filters.constraints import AnyValue, Between, Constraint, Equals, InSet
 from repro.filters.covering import filter_covers
-from repro.filters.filter import Filter, MatchAll, MatchNone
+from repro.filters.filter import Filter, MatchNone
 from repro.filters.attributes import try_compare
 
 

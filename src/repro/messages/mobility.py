@@ -26,7 +26,7 @@ to spread the information about new subscriptions", Section 5.4).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.filters.filter import Filter
 from repro.messages.base import Message, MessageKind

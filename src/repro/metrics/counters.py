@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.messages.base import MessageKind
-from repro.sim.trace import LinkRecord, TraceRecorder
+from repro.sim.trace import TraceRecorder
 
 
 @dataclass

@@ -20,11 +20,11 @@ integration tests, against an actual flooding run).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.filters.filter import Filter
-from repro.sim.trace import DeliveryRecord, PublishRecord, TraceRecorder
+from repro.sim.trace import PublishRecord, TraceRecorder
 
 Identity = Tuple[str, int]
 

@@ -7,7 +7,7 @@ experiments stay reproducible.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.core.ploc import MovementGraph
 from repro.mobility.itinerary import LogicalItinerary, LogicalStep, RoamingItinerary

@@ -28,7 +28,7 @@ The strategies correspond to Section 2.2 of the paper:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.filters.covering import minimal_cover_set
 from repro.filters.covering_cache import (
@@ -66,6 +66,15 @@ class RoutingStrategy:
     #: Whether brokers forward notifications to every neighbour regardless
     #: of the routing table (flooding) or only along matching table entries.
     floods_notifications: bool = False
+
+    #: How the delta-driven forwarding engine
+    #: (:mod:`repro.broker.forwarding`) can maintain this strategy's
+    #: reduction incrementally: ``"covering"`` (maintain a minimal cover
+    #: set), ``"none"`` (no reduction; forward every canonical filter), or
+    #: ``None`` (unsupported — the broker falls back to the per-refresh
+    #: incremental path).  Merging is unsupported because a greedy merge
+    #: can combine a new filter with interior, non-selected filters.
+    delta_reduction: Optional[str] = None
 
     def desired_forwarding_set(self, filters: Sequence[Filter]) -> List[Filter]:
         """The filters that should be forwarded, given registered *filters*."""
@@ -121,6 +130,7 @@ class SimpleStrategy(RoutingStrategy):
     """Forward every registered filter unchanged."""
 
     name = "simple"
+    delta_reduction = "none"
 
     def desired_forwarding_set(self, filters: Sequence[Filter]) -> List[Filter]:
         return self._canonicalise(filters)
@@ -130,6 +140,7 @@ class IdentityStrategy(RoutingStrategy):
     """Forward each distinct filter exactly once (combine equal filters)."""
 
     name = "identity"
+    delta_reduction = "none"
 
     def desired_forwarding_set(self, filters: Sequence[Filter]) -> List[Filter]:
         # Canonicalisation already collapses identical filters; the class
@@ -142,6 +153,7 @@ class CoveringStrategy(RoutingStrategy):
     """Do not forward filters that are covered by another forwarded filter."""
 
     name = "covering"
+    delta_reduction = "covering"
 
     def desired_forwarding_set(self, filters: Sequence[Filter]) -> List[Filter]:
         return minimal_cover_set(self._canonicalise(filters))

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Set, Tuple
 
 from repro.filters.filter import Filter
 from repro.filters.matching import MatchingEngine
@@ -31,6 +31,11 @@ class RoutingEntry:
     filter: Filter
     destination: str
     subjects: Set[str] = field(default_factory=set)
+    #: Monotonic creation sequence number (table-wide).  Because rows are
+    #: stored in an insertion-ordered dict, iterating :meth:`RoutingTable.
+    #: entries` yields rows in increasing ``seq`` order; delta consumers
+    #: use it as a stable position for order-sensitive reductions.
+    seq: int = 0
 
     def describe(self) -> str:
         """Human-readable rendering used in traces and debugging output."""
@@ -60,6 +65,8 @@ class RoutingTable:
         self._epoch = 0
         self._destination_epochs: Dict[str, int] = {}
         self._listeners: List[Any] = []
+        self._delta_listeners: List[Any] = []
+        self._row_seq = 0
 
     @staticmethod
     def _filter_key(filter_: Filter) -> Any:
@@ -83,6 +90,24 @@ class RoutingTable:
         """
         self._listeners.append(listener)
 
+    def add_delta_listener(self, listener) -> None:
+        """Register a row-level delta listener.
+
+        Unlike the coarse :meth:`add_listener` callbacks (which only learn
+        the affected destination), delta listeners receive the exact row
+        mutation and can maintain derived state in O(change):
+
+        * ``listener.row_subject_added(entry, subject, created_row)`` —
+          *subject* was registered on *entry*; ``created_row`` is ``True``
+          when the row itself is new.
+        * ``listener.row_subjects_removed(entry, subjects, removed_row)``
+          — the given *subjects* were dropped from *entry*;
+          ``removed_row`` is ``True`` when the row disappeared entirely.
+        * ``listener.table_reset()`` — the whole table changed at once
+          (:meth:`clear`); derived state must be rebuilt.
+        """
+        self._delta_listeners.append(listener)
+
     def _notify(self, destination: Optional[str]) -> None:
         self._epoch += 1
         if destination is not None:
@@ -105,12 +130,19 @@ class RoutingTable:
         if entry is not None:
             if subject not in entry.subjects:
                 entry.subjects.add(subject)
+                for listener in self._delta_listeners:
+                    listener.row_subject_added(entry, subject, False)
                 self._notify(destination)
             return False
-        entry = RoutingEntry(filter=filter_, destination=destination, subjects={subject})
+        self._row_seq += 1
+        entry = RoutingEntry(
+            filter=filter_, destination=destination, subjects={subject}, seq=self._row_seq
+        )
         self._entries[key] = entry
         self._index.add(filter_, destination)
         self._by_destination[destination].add(self._filter_key(filter_))
+        for listener in self._delta_listeners:
+            listener.row_subject_added(entry, subject, True)
         self._notify(destination)
         return True
 
@@ -130,8 +162,14 @@ class RoutingTable:
                 return False
             entry.subjects.discard(subject)
             if entry.subjects:
+                for listener in self._delta_listeners:
+                    listener.row_subjects_removed(entry, (subject,), False)
                 self._notify(destination)
                 return False
+            dying_subjects: Tuple[str, ...] = (subject,)
+        else:
+            dying_subjects = tuple(entry.subjects)
+            entry.subjects.clear()
         del self._entries[key]
         self._index.remove(filter_, destination)
         bucket = self._by_destination.get(destination)
@@ -139,6 +177,8 @@ class RoutingTable:
             bucket.discard(self._filter_key(filter_))
             if not bucket:
                 del self._by_destination[destination]
+        for listener in self._delta_listeners:
+            listener.row_subjects_removed(entry, dying_subjects, True)
         self._notify(destination)
         return True
 
@@ -149,7 +189,8 @@ class RoutingTable:
             entry = self._entries[key]
             if subject in entry.subjects:
                 entry.subjects.discard(subject)
-                if not entry.subjects:
+                row_removed = not entry.subjects
+                if row_removed:
                     removed.append(entry)
                     del self._entries[key]
                     self._index.remove(entry.filter, entry.destination)
@@ -158,6 +199,8 @@ class RoutingTable:
                         bucket.discard(self._filter_key(entry.filter))
                         if not bucket:
                             del self._by_destination[entry.destination]
+                for listener in self._delta_listeners:
+                    listener.row_subjects_removed(entry, (subject,), row_removed)
                 self._notify(entry.destination)
         return removed
 
@@ -170,6 +213,8 @@ class RoutingTable:
                 removed.append(entry)
                 del self._entries[key]
                 self._index.remove(entry.filter, entry.destination)
+                for listener in self._delta_listeners:
+                    listener.row_subjects_removed(entry, tuple(entry.subjects), True)
         self._by_destination.pop(destination, None)
         if removed:
             self._notify(destination)
@@ -182,6 +227,8 @@ class RoutingTable:
         self._index.clear()
         self._by_destination.clear()
         if had_entries:
+            for listener in self._delta_listeners:
+                listener.table_reset()
             self._notify(None)
 
     # -- queries -----------------------------------------------------------

@@ -109,9 +109,17 @@ class Simulator:
         label: str = "",
         **kwargs: Any,
     ) -> Event:
-        """Schedule *callback* to run *delay* time units from now."""
+        """Schedule *callback* to run *delay* time units from now.
+
+        ``delay=0`` is valid: the event runs at the current time, after
+        the events already queued for it (insertion order breaks ties).
+        """
         if delay < 0:
-            raise SimulationError("cannot schedule an event in the past (delay={})".format(delay))
+            raise SimulationError(
+                "cannot schedule event {!r} in the past (delay={})".format(
+                    label or callback, delay
+                )
+            )
         return self.schedule_at(self._now + delay, callback, *args, label=label, **kwargs)
 
     def schedule_at(
@@ -122,10 +130,16 @@ class Simulator:
         label: str = "",
         **kwargs: Any,
     ) -> Event:
-        """Schedule *callback* to run at absolute simulated *time*."""
+        """Schedule *callback* to run at absolute simulated *time*.
+
+        ``time == now`` is valid (boundary case): the event runs at the
+        current instant, after the events already queued for it.
+        """
         if time < self._now:
             raise SimulationError(
-                "cannot schedule an event in the past (time={} < now={})".format(time, self._now)
+                "cannot schedule event {!r} in the past (time={} < now={})".format(
+                    label or callback, time, self._now
+                )
             )
         event = Event(
             float(time),

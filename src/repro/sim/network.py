@@ -14,7 +14,8 @@ to be at least the delivery time of the link's previous message.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
 
 from repro.messages.base import Message
 from repro.sim.engine import Simulator
@@ -103,6 +104,18 @@ class Link:
     ``(message, link)`` once the latency has elapsed.  Bidirectional
     broker connections are modelled as a pair of links created by
     :func:`connect`.
+
+    With ``batch=True`` (the default) the link coalesces its scheduled
+    deliveries into per-link *flush* events: each message still gets its
+    own latency sample, FIFO clamp and fault decision **at send time**
+    (so per-message semantics, RNG draw order and delivery times are
+    unchanged), but instead of one simulator event per message the link
+    keeps one pending flush event that delivers every queued message
+    whose delivery time has been reached, then re-arms for the next one.
+    A broker emitting k administrative messages on one link at the same
+    instant therefore costs one event, not k — the dominant event-loop
+    saving on the routing-churn hot path.  ``batch=False`` restores the
+    one-event-per-message behaviour (kept as an equivalence baseline).
     """
 
     def __init__(
@@ -114,6 +127,7 @@ class Link:
         latency: LatencyModel,
         trace: Optional[TraceRecorder] = None,
         fault_model: Optional[FaultModel] = None,
+        batch: bool = True,
     ) -> None:
         self.simulator = simulator
         self.source = source
@@ -122,10 +136,16 @@ class Link:
         self.latency = latency
         self.trace = trace
         self.fault_model = fault_model
+        self.batch = batch
         self._last_delivery_time = simulator.now
         self.sent_count = 0
         self.delivered_count = 0
         self.dropped_count = 0
+        self.flush_count = 0
+        # Messages waiting on the wire: (delivery time, message), FIFO —
+        # delivery times are nondecreasing by construction (FIFO clamp).
+        self._pending: Deque[Tuple[float, Message]] = deque()
+        self._flush_scheduled = False
 
     @property
     def name(self) -> str:
@@ -151,12 +171,46 @@ class Link:
             delay = self.latency.sample()
             delivery_time = max(self.simulator.now + delay, self._last_delivery_time)
             self._last_delivery_time = delivery_time
+            if not self.batch:
+                self.simulator.schedule_at(
+                    delivery_time,
+                    self._on_deliver,
+                    message,
+                    label="deliver {} on {}".format(type(message).__name__, self.name),
+                )
+                continue
+            self._pending.append((delivery_time, message))
+            if not self._flush_scheduled:
+                # The queue was empty, so this delivery time is the
+                # earliest pending one; later sends can only append
+                # later-or-equal times (FIFO clamp), so the armed flush
+                # time stays the minimum until it fires.
+                self._flush_scheduled = True
+                self.simulator.schedule_at(
+                    delivery_time,
+                    self._on_flush,
+                    label="flush {}".format(self.name),
+                )
+
+    def _on_flush(self) -> None:
+        """Deliver every pending message whose time has come, then re-arm."""
+        self.flush_count += 1
+        now = self.simulator.now
+        pending = self._pending
+        while pending and pending[0][0] <= now:
+            _, message = pending.popleft()
+            self.delivered_count += 1
+            self._deliver(message, self)
+        if pending:
             self.simulator.schedule_at(
-                delivery_time,
-                self._on_deliver,
-                message,
-                label="deliver {} on {}".format(type(message).__name__, self.name),
+                pending[0][0], self._on_flush, label="flush {}".format(self.name)
             )
+        else:
+            self._flush_scheduled = False
+
+    def pending_count(self) -> int:
+        """Number of messages currently on the wire (batched mode only)."""
+        return len(self._pending)
 
     def _on_deliver(self, message: Message) -> None:
         self.delivered_count += 1

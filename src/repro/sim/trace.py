@@ -9,8 +9,8 @@ keeps the middleware itself free of measurement concerns.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
 
 from repro.messages.base import Message, MessageKind
 from repro.messages.notification import Notification

@@ -18,7 +18,7 @@ motivating applications of the paper's introduction:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.broker.client import Client
 from repro.broker.network import PubSubNetwork
@@ -26,11 +26,10 @@ from repro.core.adaptivity import UncertaintyPlan
 from repro.core.location_filter import MYLOC
 from repro.core.ploc import MovementGraph
 from repro.mobility.driver import ItineraryDriver
-from repro.mobility.itinerary import LogicalItinerary, RoamingItinerary
 from repro.mobility.models import random_walk, shuttle_roaming
 from repro.sim.rng import DeterministicRandom
 from repro.topology.builders import balanced_tree_topology, line_topology, star_topology
-from repro.workload.generators import UniformLocationPublisher, publish_schedule
+from repro.workload.generators import UniformLocationPublisher
 
 
 @dataclass

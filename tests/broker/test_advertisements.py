@@ -1,6 +1,5 @@
 """Tests for advertisement handling and advertisement-restricted forwarding."""
 
-import pytest
 
 from repro.broker.base import BrokerConfig
 from repro.broker.network import PubSubNetwork

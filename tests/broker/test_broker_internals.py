@@ -3,12 +3,11 @@
 
 import pytest
 
-from repro.broker.base import Broker, BrokerConfig, subscription_token
+from repro.broker.base import subscription_token
 from repro.broker.network import PubSubNetwork
 from repro.filters.filter import Filter
-from repro.messages.admin import Subscribe, Unsubscribe
 from repro.messages.base import MessageKind
-from repro.topology.builders import line_topology, star_topology
+from repro.topology.builders import line_topology
 
 
 def admin_messages_on(network, source, target, message_type=None):

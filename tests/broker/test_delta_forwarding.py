@@ -1,0 +1,253 @@
+"""Unit tests for the delta-driven desired forwarding sets.
+
+``NeighbourForwardingState`` must track the from-scratch
+``Broker._desired_forwarding`` byte-for-byte under arbitrary routing-table
+churn — including the hard covering cases: a new filter evicting selected
+covers, removal of a selected cover resurrecting its members, and a
+resurrected filter stealing members from later covers.
+"""
+
+import random
+
+import pytest
+
+from repro.broker.base import Broker, BrokerConfig
+from repro.filters.filter import Filter
+from repro.routing.strategies import make_strategy
+from repro.sim.engine import Simulator
+from repro.sim.network import FixedLatency, Link
+
+
+def _make_broker(strategy="covering", neighbours=("N1", "N2"), use_advertisements=False):
+    simulator = Simulator()
+    broker = Broker(
+        "B",
+        simulator,
+        make_strategy(strategy),
+        config=BrokerConfig(use_advertisements=use_advertisements),
+    )
+    sink = []
+    for name in neighbours:
+        broker.add_link(
+            Link(simulator, "B", name, lambda message, link: sink.append(message), FixedLatency(0.0))
+        )
+    return broker, sink
+
+
+def _scratch_desired(broker, neighbour):
+    """The from-scratch reference, bypassing every incremental path."""
+    config = broker.config
+    previous = config.incremental_forwarding
+    config.incremental_forwarding = False
+    try:
+        return broker._desired_forwarding(neighbour)
+    finally:
+        config.incremental_forwarding = previous
+
+
+def _delta_desired(broker, neighbour):
+    """The maintained desired dict, rebuilding exactly when a refresh would."""
+    state = broker._delta_states[neighbour]
+    if not state.valid:
+        broker._rebuild_delta_state(neighbour, state)
+    elif state.order_dirty:
+        state.rebuild_reduction(broker._covering_cache)
+    return state.desired
+
+
+def _assert_in_sync(broker):
+    for neighbour in broker.neighbours():
+        assert _delta_desired(broker, neighbour) == _scratch_desired(broker, neighbour)
+
+
+def _loc_filter(*locations):
+    return Filter({"service": "parking", "location": ("in", tuple(locations))})
+
+
+class TestCoverReassignment:
+    def test_new_filter_evicts_covers_and_reassigns_members(self):
+        broker, _ = _make_broker()
+        table = broker.subscription_table
+        narrow = _loc_filter("a")
+        mid = _loc_filter("a", "b")
+        table.add(narrow, "c1", "s1")
+        table.add(mid, "c1", "s2")
+        _assert_in_sync(broker)
+        # ``mid`` covers ``narrow``: only mid is forwarded.
+        state = broker._delta_states["N1"]
+        assert [key for _, key in state.selection] == [mid.key()]
+        # A broader filter evicts mid and adopts both members.
+        broad = _loc_filter("a", "b", "c")
+        table.add(broad, "c2", "s3")
+        _assert_in_sync(broker)
+        assert [key for _, key in state.selection] == [broad.key()]
+        assert state.assigned[narrow.key()] == broad.key()
+        assert state.assigned[mid.key()] == broad.key()
+
+    def test_removing_selected_cover_resurrects_members(self):
+        broker, _ = _make_broker()
+        table = broker.subscription_table
+        narrow = _loc_filter("a")
+        other = _loc_filter("c", "d")
+        broad = _loc_filter("a", "b")
+        table.add(narrow, "c1", "s1")
+        table.add(other, "c1", "s2")
+        table.add(broad, "c2", "s3")
+        _assert_in_sync(broker)
+        state = broker._delta_states["N1"]
+        assert narrow.key() not in state.selected
+        # Removing the cover resurrects the member at its original position.
+        table.remove(broad, "c2", "s3")
+        _assert_in_sync(broker)
+        assert [key for _, key in state.selection] == [narrow.key(), other.key()]
+
+    def test_resurrected_filter_steals_members_of_later_covers(self):
+        broker, _ = _make_broker()
+        table = broker.subscription_table
+        # Canonical order: R, C, x, F — F strictly covers R; x is covered
+        # by both R and C.  With F present the selection is [C, F] and x
+        # is assigned to C; removing F resurrects R, which steals x.
+        r = _loc_filter("1", "2", "3")
+        c = _loc_filter("2", "3", "4")
+        x = _loc_filter("2", "3")
+        f = _loc_filter("1", "2", "3", "5")
+        table.add(r, "c1", "s1")
+        table.add(c, "c1", "s2")
+        table.add(x, "c1", "s3")
+        table.add(f, "c2", "s4")
+        _assert_in_sync(broker)
+        state = broker._delta_states["N1"]
+        assert [key for _, key in state.selection] == [c.key(), f.key()]
+        assert state.assigned[x.key()] == c.key()
+        table.remove(f, "c2", "s4")
+        _assert_in_sync(broker)
+        assert [key for _, key in state.selection] == [r.key(), c.key()]
+        assert state.assigned[x.key()] == r.key()
+
+    def test_order_perturbation_then_removal_in_one_operation(self):
+        """Regression: removing both rows of a selected filter in one call.
+
+        ``remove_subject`` kills the filter's first contributing row (an
+        order perturbation) and then its last row before any refresh;
+        the selection's (pos, key) tuple must stay consistent so the
+        second removal does not crash.
+        """
+        broker, _ = _make_broker()
+        table = broker.subscription_table
+        shared = _loc_filter("a", "b")
+        table.add(shared, "c1", "tok")
+        table.add(_loc_filter("c"), "c1", "other")
+        table.add(shared, "c2", "tok")
+        _assert_in_sync(broker)
+        table.remove_subject("tok")  # removes both rows of ``shared``
+        _assert_in_sync(broker)
+        assert shared.key() not in broker._delta_states["N1"].entries
+
+    def test_matchnone_rows_are_skipped_in_every_mode(self):
+        """MatchNone subscriptions are forwarded by no mode (equivalence)."""
+        from repro.filters.filter import MatchNone
+
+        broker, _ = _make_broker()
+        table = broker.subscription_table
+        table.add(MatchNone(), "c1", "s1")
+        table.add(_loc_filter("a"), "c1", "s2")
+        _assert_in_sync(broker)
+        desired = _delta_desired(broker, "N1")
+        assert {subject for _, subject in desired} == {"s2"}
+        table.remove(MatchNone(), "c1", "s1")
+        _assert_in_sync(broker)
+
+    def test_order_perturbation_triggers_local_rebuild(self):
+        broker, _ = _make_broker()
+        table = broker.subscription_table
+        shared = _loc_filter("a", "b")
+        table.add(shared, "c1", "s1")
+        table.add(_loc_filter("c"), "c1", "s2")
+        table.add(shared, "c2", "s3")
+        _assert_in_sync(broker)
+        # Killing the *first* contributing row of ``shared`` moves its
+        # canonical position behind the other filter.
+        table.remove(shared, "c1", "s1")
+        state = broker._delta_states["N1"]
+        assert state.order_dirty
+        _assert_in_sync(broker)
+        assert not state.order_dirty
+
+
+class TestModesAndFlags:
+    def test_simple_strategy_forwards_every_filter(self):
+        broker, _ = _make_broker(strategy="simple")
+        table = broker.subscription_table
+        table.add(_loc_filter("a"), "c1", "s1")
+        table.add(_loc_filter("a", "b"), "c1", "s2")
+        _assert_in_sync(broker)
+        state = broker._delta_states["N1"]
+        assert len(state.selection) == 2
+
+    def test_merging_strategy_does_not_use_delta_mode(self):
+        broker, _ = _make_broker(strategy="merging")
+        assert not broker._delta_mode
+        assert broker._delta_states == {}
+
+    def test_refresh_applies_deltas_without_table_scan(self):
+        broker, _ = _make_broker()
+        broker.subscription_table.add(_loc_filter("a"), "c1", "s1")
+        broker._refresh_all_forwarding()
+        calls = []
+        original = broker.subscription_table.entries
+        broker.subscription_table.entries = lambda: calls.append(1) or original()
+        broker.subscription_table.add(_loc_filter("b"), "c1", "s2")
+        broker._refresh_all_forwarding()
+        assert calls == []
+        assert broker.forwarded_subscription_count("N1") == 2
+
+    def test_subject_refcounts_across_destinations(self):
+        broker, _ = _make_broker()
+        table = broker.subscription_table
+        shared = _loc_filter("a")
+        # The same (filter, subject) from two destinations must survive
+        # the removal of either one.
+        table.add(shared, "c1", "tok")
+        table.add(shared, "c2", "tok")
+        _assert_in_sync(broker)
+        table.remove(shared, "c1", "tok")
+        _assert_in_sync(broker)
+        assert (shared.key(), "tok") in broker._delta_states["N1"].desired
+        table.remove(shared, "c2", "tok")
+        _assert_in_sync(broker)
+        assert broker._delta_states["N1"].desired == {}
+
+
+@pytest.mark.parametrize("strategy", ["covering", "simple"])
+@pytest.mark.parametrize("seed", [5, 23])
+def test_stepwise_randomized_equivalence(strategy, seed):
+    """After *every* table mutation the delta state matches from-scratch."""
+    from repro.filters.filter import MatchNone
+
+    rng = random.Random(seed)
+    broker, _ = _make_broker(strategy=strategy)
+    locations = ["l{}".format(index) for index in range(10)]
+    live = []
+    for _ in range(250):
+        roll = rng.random()
+        if live and roll < 0.35:
+            filter_, destination, subject = live.pop(rng.randrange(len(live)))
+            broker.subscription_table.remove(filter_, destination, subject)
+        elif live and roll < 0.45:
+            # Bulk removal: kills several rows (possibly of the same
+            # filter, in canonical order) before any refresh runs.
+            _, _, subject = rng.choice(live)
+            broker.subscription_table.remove_subject(subject)
+            live = [item for item in live if item[2] != subject]
+        else:
+            if roll > 0.97:
+                filter_ = MatchNone()
+            else:
+                span = rng.randint(1, 4)
+                start = rng.randint(0, len(locations) - span)
+                filter_ = _loc_filter(*locations[start : start + span])
+            destination = rng.choice(["N1", "N2", "c1", "c2"])
+            subject = "s{}".format(rng.randint(0, 12))
+            broker.subscription_table.add(filter_, destination, subject)
+            live.append((filter_, destination, subject))
+        _assert_in_sync(broker)

@@ -1,11 +1,13 @@
-"""Equivalence of the incremental forwarding refresh with the from-scratch path.
+"""Equivalence of the incremental and delta-driven refresh with the from-scratch path.
 
 The incremental machinery (per-neighbour dirty tracking, reused strategy
-reductions, the covering cache, the advertisement-overlap memo) is pure
-optimisation: under any sequence of subscribes, unsubscribes and physical
-relocations both modes must emit the same administrative messages, build
-the same routing tables, forward the same (filter, subject) pairs and
-deliver the same notifications.
+reductions, the covering cache, the advertisement-overlap memo) and the
+delta-driven desired sets (routing-table row deltas applied directly to
+the cached per-neighbour desired dict, including cover reassignment) are
+pure optimisation: under any sequence of subscribes, unsubscribes and
+physical relocations all modes must emit the same administrative
+messages, build the same routing tables, forward the same (filter,
+subject) pairs and deliver the same notifications.
 """
 
 import pytest
@@ -38,9 +40,17 @@ def _snapshot(network, clients):
     }
 
 
-def _random_churn(incremental: bool, seed: int, strategy: str):
+#: Forwarding-mode fixtures: BrokerConfig kwargs per mode name.
+MODES = {
+    "scratch": {"incremental_forwarding": False},
+    "incremental": {"incremental_forwarding": True, "delta_forwarding": False},
+    "delta": {"incremental_forwarding": True, "delta_forwarding": True},
+}
+
+
+def _random_churn(mode: str, seed: int, strategy: str):
     topology = balanced_tree_topology(depth=2, fanout=2)
-    config = BrokerConfig(incremental_forwarding=incremental)
+    config = BrokerConfig(**MODES[mode])
     network = PubSubNetwork(topology, strategy=strategy, latency=0.01, config=config)
     leaves = topology.leaves()
     producer = network.add_client("producer", leaves[0])
@@ -86,8 +96,10 @@ def _random_churn(incremental: bool, seed: int, strategy: str):
 @pytest.mark.parametrize("strategy", ["covering", "merging", "simple"])
 @pytest.mark.parametrize("seed", [3, 17, 99])
 def test_randomized_churn_equivalence(strategy, seed):
-    """Incremental and from-scratch refresh are behaviourally identical."""
-    assert _random_churn(True, seed, strategy) == _random_churn(False, seed, strategy)
+    """Delta-driven, incremental and from-scratch refresh are behaviourally identical."""
+    scratch = _random_churn("scratch", seed, strategy)
+    assert _random_churn("incremental", seed, strategy) == scratch
+    assert _random_churn("delta", seed, strategy) == scratch
 
 
 def test_clean_neighbours_are_skipped():

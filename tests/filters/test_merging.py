@@ -86,9 +86,9 @@ class TestSetMerging:
         ]
         merged = merge_filters(filters)
         samples = [
-            {"service": s, "location": l}
-            for s in ("parking", "fuel", "towing")
-            for l in ("a", "b", "c")
+            {"service": service, "location": loc}
+            for service in ("parking", "fuel", "towing")
+            for loc in ("a", "b", "c")
         ]
         for sample in samples:
             assert any(f.matches(sample) for f in filters) == any(

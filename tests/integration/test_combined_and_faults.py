@@ -10,9 +10,7 @@
   hidden.
 """
 
-import pytest
 
-from repro.broker.client import Client
 from repro.broker.network import PubSubNetwork
 from repro.core.adaptivity import UncertaintyPlan
 from repro.core.location_filter import MYLOC

@@ -127,7 +127,6 @@ class TestEpochSemantics:
     def test_slow_movement_matches_flooding_reference(self, plan_name):
         """For dwell times well above the network delays, the run delivers
         exactly what flooding with client-side filtering would (Figure 4)."""
-        graph = MovementGraph.paper_example()
         latency = 0.02
         hops = 3
         if plan_name == "static":

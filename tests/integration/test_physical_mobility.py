@@ -8,7 +8,6 @@ garbage collection of the old location's resources.
 import pytest
 
 from repro.broker.base import BrokerConfig
-from repro.broker.client import Client
 from repro.broker.network import PubSubNetwork
 from repro.filters.filter import Filter
 from repro.metrics.qos import check_completeness, check_fifo, check_no_duplicates

@@ -7,7 +7,7 @@ from repro.core.location_filter import LocationDependentFilter, LocationDependen
 from repro.core.ploc import MovementGraph
 from repro.filters.filter import Filter
 from repro.messages.admin import Advertise, Subscribe, Unadvertise, Unsubscribe
-from repro.messages.base import Message, MessageKind
+from repro.messages.base import MessageKind
 from repro.messages.mobility import (
     FetchRequest,
     LocationUpdate,

@@ -44,6 +44,36 @@ class TestScheduling:
         with pytest.raises(SimulationError):
             simulator.schedule_at(9.0, lambda: None)
 
+    def test_past_scheduling_error_names_the_event(self):
+        simulator = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError, match="deliver on A->B"):
+            simulator.schedule(-0.5, lambda: None, label="deliver on A->B")
+        with pytest.raises(SimulationError, match="flush B->C"):
+            simulator.schedule_at(9.0, lambda: None, label="flush B->C")
+
+    def test_schedule_at_exactly_now_is_valid(self):
+        """Boundary case: ``time == now`` / ``delay == 0`` runs, in order."""
+        simulator = Simulator(start_time=10.0)
+        seen = []
+        simulator.schedule_at(10.0, seen.append, "absolute")
+        simulator.schedule(0.0, seen.append, "relative")
+        simulator.run()
+        assert seen == ["absolute", "relative"]
+        assert simulator.now == 10.0
+
+    def test_event_can_schedule_at_current_instant(self):
+        """An event firing at t may schedule another event at exactly t."""
+        simulator = Simulator()
+        seen = []
+
+        def first():
+            simulator.schedule_at(simulator.now, seen.append, "chained")
+
+        simulator.schedule_at(2.0, first)
+        simulator.run()
+        assert seen == ["chained"]
+        assert simulator.now == 2.0
+
     def test_events_can_schedule_more_events(self):
         simulator = Simulator()
         seen = []
@@ -60,7 +90,7 @@ class TestScheduling:
     def test_cancelled_events_are_skipped(self):
         simulator = Simulator()
         seen = []
-        keep = simulator.schedule(1.0, seen.append, "keep")
+        simulator.schedule(1.0, seen.append, "keep")
         drop = simulator.schedule(2.0, seen.append, "drop")
         drop.cancel()
         simulator.run()

@@ -26,9 +26,10 @@ class Collector:
 class TestLatencyAndFifo:
     def test_fixed_latency_delivery_time(self):
         simulator = Simulator()
-        collector = Collector()
         times = []
-        link = Link(simulator, "A", "B", lambda m, l: times.append(simulator.now), FixedLatency(0.5))
+        link = Link(
+            simulator, "A", "B", lambda message, link: times.append(simulator.now), FixedLatency(0.5)
+        )
         link.send(make_notification(1))
         simulator.run()
         assert times == [0.5]
@@ -118,3 +119,95 @@ class TestFaultInjection:
         fault = FaultModel(DeterministicRandom(1))
         assert not fault.should_drop()
         assert not fault.should_duplicate()
+
+
+class TestBatchedDelivery:
+    """Batched flush events must preserve per-message link semantics."""
+
+    def _run_workload(self, batch, seed, messages=300):
+        """Random bursts + jitter + faults; returns (deliveries, link, events)."""
+        simulator = Simulator()
+        delivered = []
+        rng = DeterministicRandom(seed)
+        fault = FaultModel(
+            DeterministicRandom(seed + 1), drop_probability=0.1, duplicate_probability=0.1
+        )
+        link = Link(
+            simulator,
+            "A",
+            "B",
+            lambda message, _: delivered.append((simulator.now, message.publisher_seq)),
+            UniformLatency(0.0, 0.5, DeterministicRandom(seed + 2)),
+            fault_model=fault,
+            batch=batch,
+        )
+        sequence = 0
+        # Bursts of same-instant sends interleaved with time advances, so
+        # flushes coalesce some messages and re-arm for others.
+        while sequence < messages:
+            for _ in range(rng.randint(1, 6)):
+                link.send(make_notification(sequence))
+                sequence += 1
+            simulator.run_until(simulator.now + rng.uniform(0.0, 0.3))
+        simulator.run()
+        return delivered, link, simulator.processed_events
+
+    @pytest.mark.parametrize("seed", [7, 19, 42])
+    def test_batched_matches_unbatched_per_message(self, seed):
+        """Same deliveries, same times, same drops/dups — batch only cuts events."""
+        batched, batched_link, batched_events = self._run_workload(True, seed)
+        plain, plain_link, plain_events = self._run_workload(False, seed)
+        assert batched == plain
+        assert batched_link.dropped_count == plain_link.dropped_count
+        assert batched_link.delivered_count == plain_link.delivered_count
+        assert batched_events < plain_events
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_fifo_clamp_under_batched_flush(self, seed):
+        """Delivery order equals send order and times never regress."""
+        delivered, _, _ = self._run_workload(True, seed)
+        sequences = [sequence for _, sequence in delivered]
+        # Duplicates repeat a sequence number back-to-back; stripping them
+        # must leave a strictly increasing send order.
+        deduplicated = [s for i, s in enumerate(sequences) if i == 0 or s != sequences[i - 1]]
+        assert deduplicated == sorted(deduplicated)
+        times = [time for time, _ in delivered]
+        assert all(later >= earlier for earlier, later in zip(times, times[1:]))
+
+    def test_fault_semantics_per_message(self):
+        """Drops and duplicates are decided per message, not per flush."""
+        simulator = Simulator()
+        delivered = []
+        fault = FaultModel(
+            DeterministicRandom(5), drop_probability=0.3, duplicate_probability=0.3
+        )
+        link = Link(
+            simulator,
+            "A",
+            "B",
+            lambda message, _: delivered.append(message.publisher_seq),
+            FixedLatency(0.01),
+            fault_model=fault,
+        )
+        for sequence in range(400):
+            link.send(make_notification(sequence))  # one instant, one flush
+        simulator.run()
+        assert link.sent_count == 400
+        assert link.dropped_count > 0
+        assert len(delivered) == link.delivered_count
+        duplicates = len(delivered) - len(set(delivered))
+        assert duplicates > 0
+        assert len(set(delivered)) == 400 - link.dropped_count
+
+    def test_same_instant_sends_coalesce_into_one_event(self):
+        simulator = Simulator()
+        collector = Collector()
+        link = Link(simulator, "A", "B", collector, FixedLatency(0.1))
+        for sequence in range(50):
+            link.send(make_notification(sequence))
+        assert link.pending_count() == 50
+        simulator.run()
+        assert link.flush_count == 1
+        assert simulator.processed_events == 1
+        assert [m.publisher_seq for m in collector.messages] == list(range(50))
+        assert link.pending_count() == 0
