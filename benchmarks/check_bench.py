@@ -8,14 +8,14 @@ events — plus noisy wall-clock ratios.  This script re-runs the suites,
 condenses the fresh numbers the same way, and **fails** when a counter
 regressed beyond tolerance:
 
-* *cost counters* (``covering_calls*``, ``admin_messages``,
-  ``settle_events*``, ``cache_misses``) must not **increase** by more
-  than ``--counter-tolerance`` (default 5%);
-* *speedup ratios* (``covering_call_ratio``, ``settle_time_ratio``,
-  ``event_ratio``) must not **decrease** below ``--ratio-tolerance``
-  (default 50%) of the committed value — generous because wall-clock
-  ratios are machine-bound, while losing an optimisation entirely reads
-  as ~1×;
+* *cost counters* (``covering_calls*``, ``merge_evals*``,
+  ``admin_messages``, ``settle_events*``, ``cache_misses*``) must not
+  **increase** by more than ``--counter-tolerance`` (default 5%);
+* *speedup ratios* (``covering_call_ratio``, ``merge_eval_ratio*``,
+  ``settle_time_ratio``, ``event_ratio``) must not **decrease** below
+  ``--ratio-tolerance`` (default 50%) of the committed value — generous
+  because wall-clock ratios are machine-bound, while losing an
+  optimisation entirely reads as ~1×;
 * workload descriptors (``subscriptions``) must match exactly — a
   mismatch means the benchmark itself changed and the BENCH file must be
   regenerated;
@@ -48,11 +48,23 @@ import tempfile
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 #: extra_info fields where an *increase* is a cost regression.
-COUNTER_FIELDS = ("covering_calls", "admin_messages", "settle_events", "cache_misses")
+COUNTER_FIELDS = (
+    "covering_calls",
+    "merge_evals",
+    "admin_messages",
+    "settle_events",
+    "cache_misses",
+)
 #: extra_info fields where a *decrease* is a lost speedup.
-RATIO_FIELDS = ("covering_call_ratio", "settle_time_ratio", "event_ratio")
+RATIO_FIELDS = (
+    "covering_call_ratio",
+    "merge_eval_ratio",
+    "merge_eval_ratio_incremental",
+    "settle_time_ratio",
+    "event_ratio",
+)
 #: extra_info fields describing the workload; any change requires regeneration.
-WORKLOAD_FIELDS = ("subscriptions",)
+WORKLOAD_FIELDS = ("subscriptions", "roam_changes")
 #: Wall-clock fields (``settle_seconds*``, ``mean_s`` ...) are never gated.
 
 

@@ -142,8 +142,11 @@ class BrokerConfig:
         directly to the cached desired dict (including cover
         reassignment when an added/removed filter changes the minimal
         cover selection), so a routing change costs O(affected entries)
-        instead of a Θ(table) rescan per dirty refresh.  When ``False``,
-        the PR 1 per-refresh incremental path is used.  All three modes
+        instead of a Θ(table) rescan per dirty refresh.  Merging
+        strategies additionally maintain the greedy merge result through
+        an incremental merge forest backed by the bounded merge-pair
+        cache (:mod:`repro.filters.merge_state`).  When ``False``, the
+        PR 1 per-refresh incremental path is used.  All three modes
         produce identical messages, routing tables and deliveries.
     """
 
@@ -227,8 +230,14 @@ class Broker:
             and not strategy.floods_notifications
         )
         self._delta_covers = (
-            self._covering_cache.covers if strategy.delta_reduction == "covering" else None
+            self._covering_cache.covers
+            if strategy.delta_reduction in ("covering", "merging")
+            else None
         )
+        # Merging strategies maintain a greedy-merge forest between the
+        # input entries and the covering selection (see
+        # repro.filters.merge_state).
+        self._delta_merging = strategy.delta_reduction == "merging"
         self._delta_states: Dict[str, NeighbourForwardingState] = {}
         # neighbour -> (advertisement-table epoch for that neighbour,
         #               {filter key: overlap verdict}) — see _advertised_via.
@@ -284,7 +293,9 @@ class Broker:
         self._forwarded_advertisements.setdefault(link.target, {})
         self._forwarding_dirty[link.target] = True
         if self._delta_mode and link.target not in self._delta_states:
-            self._delta_states[link.target] = NeighbourForwardingState(self._delta_covers)
+            self._delta_states[link.target] = NeighbourForwardingState(
+                self._delta_covers, merging=self._delta_merging
+            )
 
     def neighbours(self) -> List[str]:
         """Names of neighbouring brokers, sorted."""
@@ -805,7 +816,8 @@ class Broker:
                 self._rebuild_delta_state(neighbour, state)
             elif state.order_dirty:
                 # Canonical input positions shifted (a filter's first
-                # contributing row died while later rows survived):
+                # contributing row died while later rows survived) or a
+                # merging state's input filters changed structurally:
                 # re-reduce from the maintained entries — no table scan.
                 state.rebuild_reduction(self._covering_cache)
             self._forwarding_dirty[neighbour] = False

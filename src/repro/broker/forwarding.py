@@ -50,6 +50,19 @@ handled by re-running the reduction over the maintained entries — still
 no table scan.  Advertisement changes and logical-mobility changes can
 flip the per-filter gating wholesale, so they invalidate the state and
 the next refresh rebuilds it from one table scan.
+
+**Merging strategies** route the inputs through an extra layer: a
+:class:`~repro.filters.merge_state.MergeState` maintains the greedy merge
+result (a forest of merge groups backed by the bounded merge-pair cache)
+over the canonical input order, the covering selection then runs over the
+*merged* filters, and the cover assignment mirrors
+``Broker._find_cover`` over that selection.  Because greedy merging is
+order-dependent and non-local (one changed input can repartition several
+groups), any structural input change marks the reduction dirty and the
+next refresh re-reduces from the maintained entries — no table scan, and
+thanks to the merge-pair/covering caches only pairs involving changed
+filters are evaluated raw.  Subject-only changes keep the assignment and
+update the desired pairs in O(1) exactly like the covering mode.
 """
 
 from __future__ import annotations
@@ -59,6 +72,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set,
 
 from repro.filters.covering_cache import CoveringCache, minimal_cover_set_cached
 from repro.filters.filter import Filter
+from repro.filters.merge_state import MergeState
 
 #: ``covers(covering, covered)`` — the (cached) covering test used for the
 #: reduction, or ``None`` for strategies that forward every filter.
@@ -86,6 +100,8 @@ class NeighbourForwardingState:
 
     __slots__ = (
         "covers",
+        "merge_state",
+        "cover_filters",
         "valid",
         "order_dirty",
         "full_diff",
@@ -100,8 +116,15 @@ class NeighbourForwardingState:
         "_max_pos",
     )
 
-    def __init__(self, covers: CoversFn) -> None:
+    def __init__(self, covers: CoversFn, merging: bool = False) -> None:
         self.covers = covers
+        #: Incremental greedy-merge forest (merging strategies only); the
+        #: selection is then computed over the merged filters and covers
+        #: may be synthesised filters that are not input entries.
+        self.merge_state: Optional[MergeState] = MergeState() if merging else None
+        #: cover filter key -> cover filter, for covers that are *merged*
+        #: filters (not entries).  Empty in non-merging modes.
+        self.cover_filters: Dict[Any, Filter] = {}
         #: ``False`` -> the gating inputs may have changed wholesale; the
         #: next refresh must rebuild from a table scan.
         self.valid = False
@@ -158,6 +181,12 @@ class NeighbourForwardingState:
             self._pair_remove(old_cover, subject)
             self._pair_add(new_cover, subject, cover_filter)
 
+    def _cover_filter(self, cover_key: Any) -> Filter:
+        """The filter forwarded for *cover_key* (an entry, or a merged filter)."""
+        if self.merge_state is not None:
+            return self.cover_filters[cover_key]
+        return self.entries[cover_key].filter
+
     # ------------------------------------------------------------------
     # Delta application (the O(change) hot path)
     # ------------------------------------------------------------------
@@ -175,7 +204,13 @@ class NeighbourForwardingState:
                 self.order_dirty = True
             else:
                 self._max_pos = seq
-            self._filter_added(entry)
+            if self.merge_state is not None:
+                # A new input filter can repartition the greedy merge in
+                # non-local ways; re-reduce from the entries at the next
+                # refresh (the merge-pair cache keeps it O(changed pairs)).
+                self.order_dirty = True
+            else:
+                self._filter_added(entry)
         elif seq < entry.pos:
             # The canonical position moved earlier.  Do NOT touch
             # entry.pos here: the selection stores (pos, key) tuples that
@@ -185,9 +220,13 @@ class NeighbourForwardingState:
         entry.rows[seq] = entry.rows.get(seq, 0) + 1
         count = entry.subjects.get(subject, 0)
         entry.subjects[subject] = count + 1
-        if count == 0:
+        if count == 0 and not (self.merge_state is not None and self.order_dirty):
+            # A pending merge re-reduction rebuilds the desired pairs
+            # wholesale (and the assignment may not know this key yet), so
+            # eager pair maintenance only runs while the assignment is
+            # current.
             cover_key = self.assigned[key]
-            self._pair_add(cover_key, subject, self.entries[cover_key].filter)
+            self._pair_add(cover_key, subject, self._cover_filter(cover_key))
 
     def remove_contribution(self, filter_key: Any, subject: str, seq: int) -> None:
         """One plain subject of a table row was removed."""
@@ -200,7 +239,7 @@ class NeighbourForwardingState:
         count = entry.subjects.get(subject, 0)
         if count <= 1:
             entry.subjects.pop(subject, None)
-            if count == 1:
+            if count == 1 and not (self.merge_state is not None and self.order_dirty):
                 self._pair_remove(self.assigned[filter_key], subject)
         else:
             entry.subjects[subject] = count - 1
@@ -218,7 +257,13 @@ class NeighbourForwardingState:
                 # the order_dirty rebuild recompute every position.
                 self.order_dirty = True
             return
-        self._filter_removed(entry)
+        if self.merge_state is not None:
+            # Losing an input filter can resurrect or repartition merge
+            # groups; re-reduce from the remaining entries at the next
+            # refresh.
+            self.order_dirty = True
+        else:
+            self._filter_removed(entry)
         del self.entries[filter_key]
 
     # ------------------------------------------------------------------
@@ -411,9 +456,16 @@ class NeighbourForwardingState:
         self.selected = set()
         self.assigned = {}
         self.members = {}
+        self.cover_filters = {}
         self.desired = {}
         self.pair_refs = {}
         self.pending.clear()
+        if self.merge_state is not None:
+            self._rebuild_merging_reduction(ordered, cache)
+            self.order_dirty = False
+            self.full_diff = True
+            self.pending.clear()
+            return
         if self.covers is None:
             selected_filters = [entry.filter for entry in ordered]
         else:
@@ -445,6 +497,50 @@ class NeighbourForwardingState:
         self.order_dirty = False
         self.full_diff = True
         self.pending.clear()
+
+    def _rebuild_merging_reduction(
+        self, ordered: Sequence[_InputEntry], cache: Optional[CoveringCache]
+    ) -> None:
+        """Merging-mode reduction: merge forest → covering → assignment.
+
+        Mirrors the from-scratch pipeline exactly:
+        ``minimal_cover_set(merge_filters(inputs))`` for the selection and
+        ``Broker._find_cover`` (key equality over the whole selection
+        first, then first covering filter in selection order) for the
+        per-input cover, so the desired pairs are byte-identical to the
+        scratch path.  The merge runs through the shared
+        :class:`~repro.filters.merge_state.MergeState` so only pairs
+        involving changed filters are evaluated raw.
+        """
+        merged, _ = self.merge_state.update([entry.filter for entry in ordered])
+        selected = minimal_cover_set_cached(merged, cache)
+        covers = self.covers
+        for position, filter_ in enumerate(selected):
+            key = filter_.key()
+            self.selection.append((position, key))
+            self.selected.add(key)
+            self.cover_filters[key] = filter_
+        for entry in ordered:
+            if entry.key in self.selected:
+                cover = self.cover_filters[entry.key]
+            else:
+                cover = None
+                for candidate in selected:
+                    if covers(candidate, entry.filter):
+                        cover = candidate
+                        break
+                if cover is None:
+                    # The reduction should always produce a cover (merged
+                    # roots cover their members and the covering reduction
+                    # keeps a coverer for everything it drops); fall back
+                    # to the filter itself to stay correct (mirrors
+                    # Broker._find_cover).
+                    cover = entry.filter
+                    self.cover_filters.setdefault(cover.key(), cover)
+            cover_key = cover.key()
+            self.assigned[entry.key] = cover_key
+            for subject in entry.subjects:
+                self._pair_add(cover_key, subject, cover)
 
     # ------------------------------------------------------------------
     # Flush support

@@ -29,6 +29,29 @@ from repro.filters.filter import Filter, MatchNone
 from repro.filters.attributes import try_compare
 
 
+class MergingStats:
+    """Process-wide counter of raw (uncached) merge-pair evaluations.
+
+    Mirrors :class:`repro.filters.covering.CoveringStats`: benchmarks and
+    tests read :data:`merge_stats` to verify that the merge-pair cache
+    (:class:`repro.filters.merge_state.MergePairCache`) actually removes
+    re-merge work from the broker hot path.  Only genuine
+    :func:`try_merge_pair` runs are counted, never cache hits.
+    """
+
+    __slots__ = ("try_merge_calls",)
+
+    def __init__(self) -> None:
+        self.try_merge_calls = 0
+
+    def reset(self) -> None:
+        self.try_merge_calls = 0
+
+
+#: Global counter incremented by :func:`try_merge_pair`.
+merge_stats = MergingStats()
+
+
 def _merge_constraints(left: Constraint, right: Constraint) -> Optional[Constraint]:
     """Try to produce a single constraint accepting exactly the union.
 
@@ -108,6 +131,7 @@ def try_merge_pair(left: Filter, right: Filter, covers=filter_covers) -> Optiona
     :class:`repro.filters.covering_cache.CoveringCache`) without changing
     semantics.
     """
+    merge_stats.try_merge_calls += 1
     if isinstance(left, MatchNone):
         return right
     if isinstance(right, MatchNone):

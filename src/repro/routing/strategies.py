@@ -70,10 +70,12 @@ class RoutingStrategy:
     #: How the delta-driven forwarding engine
     #: (:mod:`repro.broker.forwarding`) can maintain this strategy's
     #: reduction incrementally: ``"covering"`` (maintain a minimal cover
-    #: set), ``"none"`` (no reduction; forward every canonical filter), or
-    #: ``None`` (unsupported — the broker falls back to the per-refresh
-    #: incremental path).  Merging is unsupported because a greedy merge
-    #: can combine a new filter with interior, non-selected filters.
+    #: set), ``"merging"`` (maintain the greedy merge through an
+    #: incremental merge forest — :mod:`repro.filters.merge_state` — and
+    #: run the covering selection over the merged filters), ``"none"``
+    #: (no reduction; forward every canonical filter), or ``None``
+    #: (unsupported — the broker falls back to the per-refresh
+    #: incremental path).
     delta_reduction: Optional[str] = None
 
     def desired_forwarding_set(self, filters: Sequence[Filter]) -> List[Filter]:
@@ -237,6 +239,7 @@ class MergingStrategy(RoutingStrategy):
     """Merge filters into covers before forwarding (plus covering reduction)."""
 
     name = "merging"
+    delta_reduction = "merging"
 
     def desired_forwarding_set(self, filters: Sequence[Filter]) -> List[Filter]:
         merged = merge_filters(self._canonicalise(filters))
@@ -248,7 +251,7 @@ class MergingStrategy(RoutingStrategy):
         filters: Sequence[Filter],
         cache: Optional[CoveringCache] = None,
     ) -> Tuple[List[Filter], Optional[ForwardingSelection]]:
-        """Cached merging reduction.
+        """Cached merging reduction (the PR 1 baseline path).
 
         Unchanged input reuses the previous selection.  Any change
         recomputes the greedy merge — merging can combine a new filter
@@ -256,6 +259,12 @@ class MergingStrategy(RoutingStrategy):
         would change results — but both the merge and the final covering
         reduction run against the shared covering cache, which removes the
         dominant (quadratic covering-test) cost of the recomputation.
+
+        This path is only used when ``BrokerConfig.delta_forwarding`` is
+        off; the default delta path maintains the merge itself
+        incrementally (:mod:`repro.filters.merge_state`) and is kept
+        byte-identical to both this and the from-scratch reduction by the
+        churn tests in ``tests/broker/test_delta_forwarding.py``.
         """
         if cache is None:
             cache = get_covering_cache()

@@ -184,8 +184,13 @@ class TestModesAndFlags:
         state = broker._delta_states["N1"]
         assert len(state.selection) == 2
 
-    def test_merging_strategy_does_not_use_delta_mode(self):
+    def test_merging_strategy_uses_delta_mode(self):
         broker, _ = _make_broker(strategy="merging")
+        assert broker._delta_mode
+        assert all(state.merge_state is not None for state in broker._delta_states.values())
+
+    def test_flooding_strategy_does_not_use_delta_mode(self):
+        broker, _ = _make_broker(strategy="flooding")
         assert not broker._delta_mode
         assert broker._delta_states == {}
 
@@ -218,7 +223,84 @@ class TestModesAndFlags:
         assert broker._delta_states["N1"].desired == {}
 
 
-@pytest.mark.parametrize("strategy", ["covering", "simple"])
+class TestMergingDeltaState:
+    """The merge layer between the input entries and the covering selection."""
+
+    def test_two_filters_forward_one_merged_cover(self):
+        broker, _ = _make_broker(strategy="merging")
+        table = broker.subscription_table
+        table.add(_loc_filter("a"), "c1", "s1")
+        table.add(_loc_filter("b"), "c2", "s2")
+        _assert_in_sync(broker)
+        desired = _delta_desired(broker, "N1")
+        merged = _loc_filter("a", "b")
+        assert set(desired) == {(merged.key(), "s1"), (merged.key(), "s2")}
+
+    def test_roam_chain_keeps_merged_cover_in_sync(self):
+        """A roaming ploc chain: each hop replaces one window filter."""
+        broker, _ = _make_broker(strategy="merging")
+        table = broker.subscription_table
+        windows = [_loc_filter("l{}".format(i), "l{}".format(i + 1)) for i in range(6)]
+        table.add(windows[0], "c1", "tok")
+        _assert_in_sync(broker)
+        for old, new in zip(windows, windows[1:]):
+            table.add(new, "c1", "tok")
+            _assert_in_sync(broker)
+            table.remove(old, "c1", "tok")
+            _assert_in_sync(broker)
+        desired = _delta_desired(broker, "N1")
+        assert set(desired) == {(windows[-1].key(), "tok")}
+
+    def test_losing_a_member_splits_the_merged_cover(self):
+        broker, _ = _make_broker(strategy="merging")
+        table = broker.subscription_table
+        disjoint = Filter({"service": "fuel", "location": ("in", ("x",))})
+        table.add(_loc_filter("a"), "c1", "s1")
+        table.add(_loc_filter("b"), "c1", "s2")
+        table.add(disjoint, "c2", "s3")
+        _assert_in_sync(broker)
+        table.remove(_loc_filter("b"), "c1", "s2")
+        _assert_in_sync(broker)
+        desired = _delta_desired(broker, "N1")
+        assert set(desired) == {
+            (_loc_filter("a").key(), "s1"),
+            (disjoint.key(), "s3"),
+        }
+
+    def test_subject_only_churn_skips_re_reduction(self):
+        broker, _ = _make_broker(strategy="merging")
+        table = broker.subscription_table
+        table.add(_loc_filter("a"), "c1", "s1")
+        table.add(_loc_filter("b"), "c2", "s2")
+        broker._refresh_all_forwarding()
+        state = broker._delta_states["N1"]
+        replays_before = state.merge_state.replays
+        # A second subject on an existing filter must not re-merge.
+        table.add(_loc_filter("a"), "c1", "s3")
+        assert not state.order_dirty
+        broker._refresh_all_forwarding()
+        _assert_in_sync(broker)
+        assert state.merge_state.replays == replays_before
+        merged = _loc_filter("a", "b")
+        assert (merged.key(), "s3") in state.desired
+
+    def test_merging_refresh_applies_deltas_without_table_scan(self):
+        broker, _ = _make_broker(strategy="merging")
+        broker.subscription_table.add(_loc_filter("a"), "c1", "s1")
+        broker._refresh_all_forwarding()
+        calls = []
+        original = broker.subscription_table.entries
+        broker.subscription_table.entries = lambda: calls.append(1) or original()
+        broker.subscription_table.add(_loc_filter("b"), "c1", "s2")
+        broker._refresh_all_forwarding()
+        assert calls == []
+        # Both filters merged into one forwarded cover carrying two pairs.
+        assert broker.forwarded_subscription_count("N1") == 2
+        merged = _loc_filter("a", "b")
+        assert all(key == merged.key() for key, _ in broker._forwarded_subscriptions["N1"])
+
+
+@pytest.mark.parametrize("strategy", ["covering", "simple", "merging"])
 @pytest.mark.parametrize("seed", [5, 23])
 def test_stepwise_randomized_equivalence(strategy, seed):
     """After *every* table mutation the delta state matches from-scratch."""
@@ -251,3 +333,102 @@ def test_stepwise_randomized_equivalence(strategy, seed):
             broker.subscription_table.add(filter_, destination, subject)
             live.append((filter_, destination, subject))
         _assert_in_sync(broker)
+
+
+# ---------------------------------------------------------------------------
+# Network-level three-mode equivalence on a roaming location-dependent
+# workload (the paper's Fig. 5 shape): per-hop window filters differ only
+# in their ``ploc`` location constraint — the perfect-merge case the
+# mobility algorithms lean on — and roaming is modelled as the
+# resubscribe baseline does it (unsubscribe the old window, subscribe the
+# shifted one).
+# ---------------------------------------------------------------------------
+
+ROAM_LOCATIONS = ["loc-{:02d}".format(index) for index in range(12)]
+
+MODES = {
+    "scratch": {"incremental_forwarding": False},
+    "incremental": {"incremental_forwarding": True, "delta_forwarding": False},
+    "delta": {"incremental_forwarding": True, "delta_forwarding": True},
+}
+
+
+def _window_filter(start, span=2):
+    return {
+        "service": "parking",
+        "location": ("in", ROAM_LOCATIONS[start : start + span]),
+    }
+
+
+def _roaming_chain_churn(mode, seed, strategy="merging"):
+    from repro.broker.network import PubSubNetwork
+    from repro.metrics.counters import MessageCounter
+    from repro.sim.rng import DeterministicRandom
+    from repro.topology.builders import balanced_tree_topology
+
+    topology = balanced_tree_topology(depth=2, fanout=2)
+    config = BrokerConfig(**MODES[mode])
+    network = PubSubNetwork(topology, strategy=strategy, latency=0.01, config=config)
+    leaves = topology.leaves()
+    producer = network.add_client("producer", leaves[0])
+    producer.advertise({"service": "parking"})
+    network.settle()
+
+    rng = DeterministicRandom(seed)
+    clients = []
+    positions = {}
+    subscription_ids = {}
+    for index in range(6):
+        client = network.add_client("c{}".format(index), rng.choice(leaves[1:]))
+        start = rng.randint(0, len(ROAM_LOCATIONS) - 3)
+        positions[client.client_id] = start
+        subscription_ids[client.client_id] = client.subscribe(_window_filter(start))
+        clients.append(client)
+    network.settle()
+
+    for _ in range(36):
+        action = rng.choice(["roam", "roam", "roam", "move", "publish"])
+        client = rng.choice(clients)
+        if action == "roam":
+            # One hop of the ploc chain: the window slides by one location.
+            start = (positions[client.client_id] + 1) % (len(ROAM_LOCATIONS) - 2)
+            positions[client.client_id] = start
+            new_id = client.subscribe(_window_filter(start))
+            client.unsubscribe(subscription_ids[client.client_id])
+            subscription_ids[client.client_id] = new_id
+        elif action == "move":
+            client.move_to(network.broker(rng.choice(leaves)))
+        else:
+            producer.publish(
+                {
+                    "service": "parking",
+                    "location": rng.choice(ROAM_LOCATIONS),
+                    "seq": rng.randint(0, 10_000),
+                }
+            )
+        network.settle()
+
+    counter = MessageCounter(network.trace)
+    breakdown = counter.breakdown()
+    forwarded = {
+        name: {
+            neighbour: sorted(map(repr, keys))
+            for neighbour, keys in broker._forwarded_subscriptions.items()
+        }
+        for name, broker in network.brokers.items()
+    }
+    return {
+        "admin": breakdown.admin,
+        "notifications": breakdown.notifications,
+        "tables": network.routing_table_sizes(),
+        "forwarded": forwarded,
+        "received": {c.client_id: c.received_identities() for c in clients},
+    }
+
+
+@pytest.mark.parametrize("seed", [7, 41])
+def test_roaming_chain_three_mode_equivalence(seed):
+    """Delta, incremental and from-scratch merging agree on roaming chains."""
+    scratch = _roaming_chain_churn("scratch", seed)
+    assert _roaming_chain_churn("incremental", seed) == scratch
+    assert _roaming_chain_churn("delta", seed) == scratch
