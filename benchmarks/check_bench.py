@@ -9,10 +9,12 @@ condenses the fresh numbers the same way, and **fails** when a counter
 regressed beyond tolerance:
 
 * *cost counters* (``covering_calls*``, ``merge_evals*``,
-  ``admin_messages``, ``settle_events*``, ``cache_misses*``) must not
-  **increase** by more than ``--counter-tolerance`` (default 5%);
+  ``admin_messages``, ``settle_events*``, ``cache_misses*``,
+  ``constraint_evals*``) must not **increase** by more than
+  ``--counter-tolerance`` (default 5%);
 * *speedup ratios* (``covering_call_ratio``, ``merge_eval_ratio*``,
-  ``settle_time_ratio``, ``event_ratio``) must not **decrease** below
+  ``constraint_eval_ratio``, ``settle_time_ratio``, ``event_ratio``)
+  must not **decrease** below
   ``--ratio-tolerance`` (default 50%) of the committed value — generous
   because wall-clock ratios are machine-bound, while losing an
   optimisation entirely reads as ~1×;
@@ -54,6 +56,7 @@ COUNTER_FIELDS = (
     "admin_messages",
     "settle_events",
     "cache_misses",
+    "constraint_evals",
 )
 #: extra_info fields where a *decrease* is a lost speedup.
 RATIO_FIELDS = (
@@ -62,9 +65,10 @@ RATIO_FIELDS = (
     "merge_eval_ratio_incremental",
     "settle_time_ratio",
     "event_ratio",
+    "constraint_eval_ratio",
 )
 #: extra_info fields describing the workload; any change requires regeneration.
-WORKLOAD_FIELDS = ("subscriptions", "roam_changes")
+WORKLOAD_FIELDS = ("subscriptions", "roam_changes", "publishes", "delivered")
 #: Wall-clock fields (``settle_seconds*``, ``mean_s`` ...) are never gated.
 
 

@@ -37,6 +37,7 @@ from repro.core.location_filter import (
 )
 from repro.broker.forwarding import NeighbourForwardingState
 from repro.core.logical import LogicalSubscriptionState
+from repro.dispatch.plan import DispatchPlan
 from repro.core.physical import RelocationBuffer, RelocationRecord, VirtualCounterpart
 from repro.filters.covering import filter_covers, filters_overlap_hint
 from repro.filters.covering_cache import CoveringCache, get_covering_cache
@@ -103,6 +104,11 @@ def _forwarding_sort_key(item: Tuple[Tuple[Any, str], Filter]) -> Tuple[Any, str
     return (token, subject)
 
 
+def _entry_sort_key(entry: Any) -> Tuple[str, int]:
+    """Stable order for matched routing rows: destination, then creation seq."""
+    return (entry.destination, entry.seq)
+
+
 @dataclass
 class BrokerConfig:
     """Tunable broker behaviour.
@@ -148,6 +154,19 @@ class BrokerConfig:
         cache (:mod:`repro.filters.merge_state`).  When ``False``, the
         PR 1 per-refresh incremental path is used.  All three modes
         produce identical messages, routing tables and deliveries.
+    indexed_dispatch:
+        When ``True`` (the default), the broker matches notifications
+        through a compiled :class:`~repro.dispatch.plan.DispatchPlan`: a
+        counting :class:`~repro.dispatch.predicate_index.PredicateIndex`
+        over the subscription table answers the forwarding *and* the
+        local-delivery question in one pass, and a per-neighbour
+        :class:`~repro.dispatch.plan.AdvertisementOverlapIndex` answers
+        the ``_advertised_via`` gate without scanning the advertisement
+        entries.  Both structures are maintained incrementally from the
+        routing tables' row-level deltas.  When ``False``, notifications
+        are matched by the routing table's candidate engine and the gate
+        scans linearly (the original behaviour, kept as the byte-identical
+        oracle: same deliveries, same admin traffic, same RNG order).
     """
 
     use_advertisements: bool = True
@@ -155,6 +174,7 @@ class BrokerConfig:
     propagate_unchanged_location_updates: bool = True
     incremental_forwarding: bool = True
     delta_forwarding: bool = True
+    indexed_dispatch: bool = True
 
 
 @dataclass
@@ -253,6 +273,15 @@ class Broker:
         self.advertisement_table.add_listener(self._on_advertisement_rows_changed)
         if self._delta_mode:
             self.subscription_table.add_delta_listener(self)
+        # Compiled notification data plane: a counting index over the
+        # subscription table plus per-neighbour advertisement overlap
+        # indexes, maintained from both tables' row-level deltas (see
+        # repro.dispatch).  ``None`` selects the scan oracle.
+        self._dispatch_plan: Optional[DispatchPlan] = (
+            DispatchPlan(self.subscription_table, self.advertisement_table)
+            if self.config.indexed_dispatch
+            else None
+        )
 
         # Border-broker state.
         self._clients: Dict[str, _ClientRegistration] = {}
@@ -277,6 +306,8 @@ class Broker:
             "mobility_received": 0,
             "fetch_requests_sent": 0,
             "replays_sent": 0,
+            "advert_gate_hits": 0,
+            "advert_gate_misses": 0,
         }
 
     # ------------------------------------------------------------------
@@ -600,14 +631,32 @@ class Broker:
     # ------------------------------------------------------------------
     def _handle_notification(self, notification: Notification, from_destination: Optional[str]) -> None:
         attributes = notification.attributes
-        if self.strategy.floods_notifications:
-            forward_to = set(self._links)
+        plan = self._dispatch_plan
+        if plan is not None:
+            # One counting pass answers both questions: which neighbours
+            # the notification must be forwarded to, and which local rows
+            # it is delivered against.
+            matched_entries = plan.match(attributes)
+            if self.strategy.floods_notifications:
+                forward_to = set(self._links)
+            else:
+                forward_to = {
+                    entry.destination
+                    for entry in matched_entries
+                    if entry.destination in self._links
+                }
         else:
-            forward_to = {
-                destination
-                for destination in self.subscription_table.matching_destinations(attributes)
-                if destination in self._links
-            }
+            # Scan oracle: the routing table's candidate engine, queried
+            # once for the forwarding set and once for the local rows.
+            if self.strategy.floods_notifications:
+                forward_to = set(self._links)
+            else:
+                forward_to = {
+                    destination
+                    for destination in self.subscription_table.matching_destinations(attributes)
+                    if destination in self._links
+                }
+            matched_entries = self.subscription_table.matching_entries(attributes)
         if from_destination in forward_to:
             forward_to.discard(from_destination)
         for neighbour in sorted(forward_to):
@@ -615,11 +664,19 @@ class Broker:
             self._links[neighbour].send(notification)
 
         # Local delivery (including buffering into counterparts).
-        self._deliver_locally(notification, from_destination)
+        self._deliver_locally(notification, from_destination, matched_entries)
 
-    def _deliver_locally(self, notification: Notification, from_destination: Optional[str]) -> None:
-        attributes = notification.attributes
-        for entry in self.subscription_table.matching_entries(attributes):
+    def _deliver_locally(
+        self,
+        notification: Notification,
+        from_destination: Optional[str],
+        matched_entries: Sequence[Any],
+    ) -> None:
+        # Both dispatch modes produce the same *set* of matched rows but
+        # in implementation-specific orders; sort on the stable (row
+        # destination, row creation seq) key so delivery order — and with
+        # it every trace — is deterministic and mode-independent.
+        for entry in sorted(matched_entries, key=_entry_sort_key):
             destination = entry.destination
             if destination in self._links or destination == from_destination:
                 continue
@@ -996,9 +1053,16 @@ class Broker:
         In incremental mode the verdict is memoised per (neighbour, filter
         key); the memo for a neighbour is discarded wholesale whenever that
         neighbour's advertisement rows change (tracked by the table's
-        per-destination epoch), so it can never go stale.
+        per-destination epoch), so it can never go stale.  With
+        ``indexed_dispatch`` on, memo misses (and every query in
+        non-incremental mode) are answered by the dispatch plan's
+        per-neighbour overlap index instead of a linear scan over the
+        neighbour's advertisement entries; both return identical verdicts.
         """
+        plan = self._dispatch_plan
         if not self.config.incremental_forwarding:
+            if plan is not None:
+                return plan.advertised_via(neighbour, filter_)
             for entry in self.advertisement_table.entries_for_destination(neighbour):
                 if filters_overlap_hint(entry.filter, filter_):
                     return True
@@ -1012,14 +1076,20 @@ class Broker:
         key = filter_.key()
         verdict = verdicts.get(key)
         if verdict is None:
+            self.counters["advert_gate_misses"] += 1
             if len(verdicts) >= self._memo_limit:
                 verdicts.clear()
-            verdict = False
-            for entry in self.advertisement_table.entries_for_destination(neighbour):
-                if filters_overlap_hint(entry.filter, filter_):
-                    verdict = True
-                    break
+            if plan is not None:
+                verdict = plan.advertised_via(neighbour, filter_)
+            else:
+                verdict = False
+                for entry in self.advertisement_table.entries_for_destination(neighbour):
+                    if filters_overlap_hint(entry.filter, filter_):
+                        verdict = True
+                        break
             verdicts[key] = verdict
+        else:
+            self.counters["advert_gate_hits"] += 1
         return verdict
 
     # ------------------------------------------------------------------

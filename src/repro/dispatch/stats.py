@@ -1,0 +1,56 @@
+"""Counters describing the work the counting dispatch engine performs.
+
+The scan path's cost shows up in
+:data:`repro.filters.stats.matching_stats` (every constraint evaluated by
+``Filter.matches``).  The counting engine replaces most of those
+evaluations with bucket lookups and bisections; what little it still
+evaluates directly (residual constraints, interval candidates, opaque
+filters) is counted both here *and* in ``matching_stats.constraint_evals``
+so that a single counter compares fairly across dispatch modes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class DispatchStats:
+    """Process-wide counters for the counting index (see module docstring)."""
+
+    __slots__ = (
+        "matches",
+        "satisfied_predicates",
+        "count_increments",
+        "constraint_evals",
+        "filters_matched",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        #: Counting passes performed (one per notification per broker).
+        self.matches = 0
+        #: Predicates satisfied across all passes (bucket/bisect hits).
+        self.satisfied_predicates = 0
+        #: Per-filter count bumps (the inner loop of the counting pass).
+        self.count_increments = 0
+        #: Raw ``Constraint.matches`` / ``Filter.matches`` evaluations the
+        #: index could not answer from its buckets.
+        self.constraint_evals = 0
+        #: Filters reported as matching across all passes.
+        self.filters_matched = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Current counter values (used by benchmarks and metrics)."""
+        return {
+            "matches": self.matches,
+            "satisfied_predicates": self.satisfied_predicates,
+            "count_increments": self.count_increments,
+            "constraint_evals": self.constraint_evals,
+            "filters_matched": self.filters_matched,
+        }
+
+
+#: Global counters incremented by the counting matcher.
+dispatch_stats = DispatchStats()

@@ -29,10 +29,14 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.filters.attributes import canonical_key, try_compare
-from repro.filters.constraints import Between, Constraint, Equals, InSet
 from repro.filters.covering import filter_covers
 from repro.filters.filter import Filter, MatchNone
+from repro.filters.selectivity import finite_value_keys, pick_anchor
+
+#: Backwards-compatible alias: the classifier moved to
+#: :mod:`repro.filters.selectivity` so the matching and dispatch indexes
+#: can share it.
+_finite_value_keys = finite_value_keys
 
 
 class CoveringCache:
@@ -100,41 +104,18 @@ def get_covering_cache() -> CoveringCache:
     return _GLOBAL_CACHE
 
 
-def _finite_value_keys(constraint: Constraint) -> Optional[Tuple[Any, ...]]:
-    """Canonical keys of the constraint's accepted values, when finite.
-
-    Returns ``None`` for constraints accepting unboundedly many values
-    (ranges, prefixes, ``any``/``exists``...).  A filter whose constraint
-    on some attribute is *finite* can only be covered, on that attribute,
-    by a constraint accepting a superset of those values; conversely a
-    finite constraint can never cover an infinite one.  Both directions
-    are what makes the value buckets of :class:`CoveringIndex` sound.
-    """
-    if isinstance(constraint, Equals):
-        return (canonical_key(constraint.value),)
-    if isinstance(constraint, InSet):
-        # ``_by_key`` already holds the canonical keys (insertion order).
-        return tuple(constraint._by_key)
-    if isinstance(constraint, Between):
-        # Any zero-width interval accepts at most {low} — including the
-        # half-open ones (which accept nothing).  They must be classified
-        # finite: ``Between.covers`` lets a closed [x, x] cover a half-open
-        # [x, x), so a half-open target still needs to find value-bucketed
-        # coverers anchored at x.
-        ok, sign = try_compare(constraint.low, constraint.high)
-        if ok and sign == 0:
-            return (canonical_key(constraint.low),)
-    return None
-
-
 class CoveringIndex:
     """Candidate-pruning index over potential covering filters.
 
     Mirrors the :class:`~repro.filters.matching.MatchingEngine` bucket
-    layout: each indexed filter is anchored under its first finite-valued
-    strict constraint (one bucket per accepted value), falling back to its
-    first strict attribute name, falling back to a universal list for
-    filters with no strict constraint (which may cover anything).
+    layout: each indexed filter is anchored under its **most selective**
+    finite-valued strict constraint — chosen by the shared
+    :func:`~repro.filters.selectivity.pick_anchor` policy, which prefers
+    the emptiest value buckets so one equality shared by every filter
+    (``service=parking``) stops defeating the pruning — with one bucket
+    per accepted value, falling back to its first strict attribute name,
+    falling back to a universal list for filters with no strict constraint
+    (which may cover anything).
 
     For a target filter ``F``, :meth:`candidate_positions` returns a
     **sound superset** of the indexed filters that can cover ``F``:
@@ -156,25 +137,26 @@ class CoveringIndex:
 
     def add(self, position: int, filter_: Filter) -> None:
         """Index *filter_* (a potential coverer) under *position*."""
-        anchor_attr: Optional[str] = None
-        anchor_values: Optional[Tuple[Any, ...]] = None
+        anchor = pick_anchor(filter_, self._bucket_load)
+        if anchor is not None:
+            anchor_attr, anchor_values = anchor
+            for value in anchor_values:
+                self._by_value.setdefault((anchor_attr, value), []).append(position)
+            return
         fallback_attr: Optional[str] = None
         for name, constraint in filter_.constraint_items():
             if constraint.matches_absent():
                 continue
-            values = _finite_value_keys(constraint)
-            if values is not None:
-                anchor_attr, anchor_values = name, values
-                break
-            if fallback_attr is None:
-                fallback_attr = name
-        if anchor_attr is not None and anchor_values:
-            for value in anchor_values:
-                self._by_value.setdefault((anchor_attr, value), []).append(position)
-        elif fallback_attr is not None:
+            fallback_attr = name
+            break
+        if fallback_attr is not None:
             self._by_attr.setdefault(fallback_attr, []).append(position)
         else:
             self._universal.append(position)
+
+    def _bucket_load(self, name: str, value: Any) -> int:
+        bucket = self._by_value.get((name, value))
+        return len(bucket) if bucket else 0
 
     def candidate_positions(self, filter_: Filter) -> Optional[List[int]]:
         """Positions of indexed filters that might cover *filter_*.

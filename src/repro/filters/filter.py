@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
 
 from repro.filters.constraints import Constraint, constraint_from_tuple
+from repro.filters.stats import matching_stats
 
 
 class Filter:
@@ -116,7 +117,10 @@ class Filter:
         *attributes* is the name/value mapping of a notification (or a
         :class:`~repro.messages.notification.Notification`'s ``attributes``).
         """
+        stats = matching_stats
+        stats.filter_matches += 1
         for name, constraint in self._constraints.items():
+            stats.constraint_evals += 1
             if name in attributes:
                 if not constraint.matches(attributes[name]):
                     return False

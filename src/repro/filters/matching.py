@@ -6,19 +6,23 @@ every filter; for larger tables we index filters by their equality
 constraints so that a notification only needs to be evaluated against
 filters whose equality constraints it can possibly satisfy.
 
-The index is a standard counting/predicate-index hybrid:
+The index is a candidate-generation engine:
 
-* filters with at least one :class:`Equals` constraint are indexed under
-  ``(attribute, canonical value)`` of one chosen equality constraint (the
-  least frequent attribute is a classic optimisation; we simply pick the
-  lexicographically smallest name, which is deterministic and close enough
-  for our table sizes);
+* filters with at least one finite-valued constraint (:class:`Equals`,
+  :class:`InSet`, degenerate :class:`Between`) are indexed under
+  ``(attribute, canonical value)`` buckets of one chosen anchor
+  constraint — selected by the shared selectivity policy
+  (:func:`repro.filters.selectivity.pick_anchor`, the same policy the
+  covering index uses), which prefers the emptiest buckets so a single
+  equality shared by every filter cannot defeat the pruning;
 * all remaining filters live in a scan list evaluated for every
   notification.
 
 The engine is deliberately simple but measurably faster than a full scan
 for the workloads used in the Figure 9 reproduction, and it is exercised
-by a dedicated ablation benchmark.
+by a dedicated ablation benchmark.  The broker notification hot path
+additionally layers the counting engine of :mod:`repro.dispatch` on top;
+this engine remains the routing-table oracle it is checked against.
 """
 
 from __future__ import annotations
@@ -27,8 +31,8 @@ from collections import defaultdict
 from typing import Any, Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
 from repro.filters.attributes import canonical_key
-from repro.filters.constraints import Equals
 from repro.filters.filter import Filter, MatchNone
+from repro.filters.selectivity import pick_anchor
 
 
 class MatchingEngine:
@@ -43,10 +47,12 @@ class MatchingEngine:
         self._entries: Dict[Tuple[Any, ...], Tuple[Filter, Set[Hashable]]] = {}
         # (attribute, canonical value) -> set of filter keys
         self._equality_index: Dict[Tuple[str, Any], Set[Tuple[Any, ...]]] = defaultdict(set)
-        # filter keys with no indexable equality constraint
+        # filter keys with no indexable finite-valued constraint
         self._scan_list: Set[Tuple[Any, ...]] = set()
-        # filter key -> index position it was registered under (for removal)
-        self._index_position: Dict[Tuple[Any, ...], Optional[Tuple[str, Any]]] = {}
+        # filter key -> tuple of index positions it was registered under
+        # (one per accepted anchor value; for removal), or None for the
+        # scan list
+        self._index_position: Dict[Tuple[Any, ...], Optional[Tuple[Tuple[str, Any], ...]]] = {}
 
     # -- mutation ---------------------------------------------------------
     def add(self, filter_: Filter, payload: Hashable) -> bool:
@@ -64,12 +70,13 @@ class MatchingEngine:
             payloads.add(payload)
             return False
         self._entries[key] = (filter_, {payload})
-        position = self._pick_index_position(filter_)
-        self._index_position[key] = position
-        if position is None:
+        positions = self._pick_index_positions(filter_)
+        self._index_position[key] = positions
+        if positions is None:
             self._scan_list.add(key)
         else:
-            self._equality_index[position].add(key)
+            for position in positions:
+                self._equality_index[position].add(key)
         return True
 
     def remove(self, filter_: Filter, payload: Hashable) -> bool:
@@ -107,15 +114,16 @@ class MatchingEngine:
 
     def _drop_entry(self, key: Tuple[Any, ...]) -> None:
         self._entries.pop(key, None)
-        position = self._index_position.pop(key, None)
-        if position is None:
+        positions = self._index_position.pop(key, None)
+        if positions is None:
             self._scan_list.discard(key)
         else:
-            bucket = self._equality_index.get(position)
-            if bucket is not None:
-                bucket.discard(key)
-                if not bucket:
-                    del self._equality_index[position]
+            for position in positions:
+                bucket = self._equality_index.get(position)
+                if bucket is not None:
+                    bucket.discard(key)
+                    if not bucket:
+                        del self._equality_index[position]
 
     # -- queries -----------------------------------------------------------
     def match(self, attributes: Mapping[str, Any]) -> List[Tuple[Filter, Set[Hashable]]]:
@@ -160,20 +168,31 @@ class MatchingEngine:
     def _identity(filter_: Filter) -> Tuple[Any, ...]:
         return (type(filter_).__name__ == "MatchNone", filter_.key())
 
-    def _pick_index_position(self, filter_: Filter) -> Optional[Tuple[str, Any]]:
-        """Choose the equality constraint to index the filter under."""
-        candidates = [
-            (name, constraint)
-            for name, constraint in filter_
-            if isinstance(constraint, Equals)
-        ]
-        if not candidates:
+    def _pick_index_positions(
+        self, filter_: Filter
+    ) -> Optional[Tuple[Tuple[str, Any], ...]]:
+        """Choose the value buckets to index the filter under.
+
+        Routed through the same selectivity heuristic as the covering
+        index anchor (:func:`~repro.filters.selectivity.pick_anchor`): the
+        finite-valued constraint with the emptiest current buckets wins,
+        so a shared equality no longer funnels every filter into one
+        bucket.  A filter anchored on an :class:`InSet` is registered
+        under one bucket per accepted value — a notification value can
+        reach it through exactly one of them.
+        """
+        anchor = pick_anchor(filter_, self._bucket_load)
+        if anchor is None:
             return None
-        name, constraint = min(candidates, key=lambda item: item[0])
-        return (name, canonical_key(constraint.value))
+        name, values = anchor
+        return tuple((name, value) for value in values)
+
+    def _bucket_load(self, name: str, value: Any) -> int:
+        bucket = self._equality_index.get((name, value))
+        return len(bucket) if bucket else 0
 
     def _candidate_keys(self, attributes: Mapping[str, Any]) -> Iterable[Tuple[Any, ...]]:
-        """Filter keys whose indexed equality constraint the notification satisfies."""
+        """Filter keys whose indexed anchor constraint the notification may satisfy."""
         seen: Set[Tuple[Any, ...]] = set()
         for name, value in attributes.items():
             try:

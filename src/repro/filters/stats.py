@@ -1,0 +1,43 @@
+"""Process-wide counters of raw matching work.
+
+The data-plane benchmarks compare how much *raw* constraint evaluation the
+different dispatch implementations perform for the same workload: the
+linear scan path funnels through :meth:`repro.filters.filter.Filter.matches`
+(counted here), while the counting index of :mod:`repro.dispatch` only
+evaluates the residual constraints its buckets cannot answer (counted in
+:data:`repro.dispatch.stats.dispatch_stats` *and* here, so this module's
+``constraint_evals`` is the mode-independent total).
+
+This module is a dependency leaf: it must not import anything from
+:mod:`repro.filters` so that :mod:`repro.filters.filter` can use it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class MatchingStats:
+    """Raw per-constraint evaluation counters (see module docstring)."""
+
+    __slots__ = ("constraint_evals", "filter_matches")
+
+    def __init__(self) -> None:
+        self.constraint_evals = 0
+        self.filter_matches = 0
+
+    def reset(self) -> None:
+        self.constraint_evals = 0
+        self.filter_matches = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Current counter values (used by benchmarks and metrics)."""
+        return {
+            "constraint_evals": self.constraint_evals,
+            "filter_matches": self.filter_matches,
+        }
+
+
+#: Global counters incremented by :meth:`Filter.matches` and by the
+#: residual-constraint evaluations of the counting dispatch index.
+matching_stats = MatchingStats()

@@ -13,8 +13,10 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.dispatch.stats import dispatch_stats
+from repro.filters.stats import matching_stats
 from repro.messages.base import MessageKind
 from repro.sim.trace import TraceRecorder
 
@@ -68,6 +70,48 @@ class MessageCounter:
         for record in self.trace.link_messages(until=until):
             counts[record.message_type] += 1
         return dict(counts)
+
+
+def reset_data_plane_stats() -> None:
+    """Reset the process-wide matching/dispatch counters (benchmark prologue)."""
+    matching_stats.reset()
+    dispatch_stats.reset()
+
+
+def data_plane_breakdown(brokers: Iterable[Any] = ()) -> Dict[str, int]:
+    """Counters describing per-message *data-plane* work.
+
+    The control-plane benchmarks gate covering-call and admin-message
+    counts; this breakdown reports what each notification (and each
+    advertisement-gate query) actually cost:
+
+    * ``constraint_evals`` — raw constraint evaluations performed by
+      ``Filter.matches`` *plus* the residual evaluations of the counting
+      index (one mode-independent total; see
+      :mod:`repro.filters.stats`);
+    * ``filter_matches`` — whole-filter evaluations (the scan path's unit
+      of work);
+    * ``dispatch_*`` — the counting engine's own accounting (passes,
+      satisfied predicates, count increments, residual evaluations,
+      filters matched; see :mod:`repro.dispatch.stats`);
+    * ``advert_gate_hits`` / ``advert_gate_misses`` — per-broker
+      ``_advertised_via_cache`` memo accounting, summed over *brokers*.
+    """
+    out: Dict[str, int] = dict(matching_stats.snapshot())
+    for name, value in dispatch_stats.snapshot().items():
+        out["dispatch_" + name] = value
+    gate_hits = 0
+    gate_misses = 0
+    gate_cached_verdicts = 0
+    for broker in brokers:
+        gate_hits += broker.counters.get("advert_gate_hits", 0)
+        gate_misses += broker.counters.get("advert_gate_misses", 0)
+        for _, verdicts in broker._advertised_via_cache.values():
+            gate_cached_verdicts += len(verdicts)
+    out["advert_gate_hits"] = gate_hits
+    out["advert_gate_misses"] = gate_misses
+    out["advert_gate_cached_verdicts"] = gate_cached_verdicts
+    return out
 
 
 def cumulative_message_series(

@@ -95,7 +95,11 @@ class RoutingTable:
 
         Unlike the coarse :meth:`add_listener` callbacks (which only learn
         the affected destination), delta listeners receive the exact row
-        mutation and can maintain derived state in O(change):
+        mutation and can maintain derived state in O(change).  Both broker
+        tables publish these deltas: the subscription table feeds the
+        delta-forwarding state *and* the dispatch plan's counting index,
+        the advertisement table feeds the plan's per-neighbour overlap
+        indexes (see :mod:`repro.dispatch.plan`).
 
         * ``listener.row_subject_added(entry, subject, created_row)`` —
           *subject* was registered on *entry*; ``created_row`` is ``True``
@@ -237,7 +241,14 @@ class RoutingTable:
         return {str(payload) for payload in self._index.matching_payloads(attributes)}
 
     def matching_entries(self, attributes: Mapping[str, Any]) -> List[RoutingEntry]:
-        """All rows whose filter matches *attributes*."""
+        """All rows whose filter matches *attributes*.
+
+        Row order follows the matching engine's bucket order, which is
+        not deterministic across processes; order-sensitive callers must
+        sort (the broker delivers in ``(destination, seq)`` order — see
+        ``Broker._deliver_locally``, the single canonical sort site for
+        both dispatch modes).
+        """
         out: List[RoutingEntry] = []
         for filter_, destinations in self._index.match(attributes):
             for destination in destinations:

@@ -1,0 +1,190 @@
+"""Dispatch-mode equivalence: indexed vs scan vs indexed-with-rebuild.
+
+The counting dispatch plan (``BrokerConfig.indexed_dispatch``) must be a
+pure data-plane optimisation: on identical workloads, every mode must
+produce byte-identical deliveries, admin traffic, routing tables and
+forwarded sets.  The third mode invalidates every broker's plan after
+each settle so the lazy rebuild path is exercised as heavily as the
+incremental delta maintenance.
+"""
+
+import pytest
+
+from repro.broker.base import Broker, BrokerConfig
+from repro.broker.network import PubSubNetwork
+from repro.filters.filter import Filter
+from repro.metrics.counters import MessageCounter
+from repro.routing.strategies import make_strategy
+from repro.sim.engine import Simulator
+from repro.sim.network import FixedLatency, Link
+from repro.sim.rng import DeterministicRandom
+from repro.topology.builders import balanced_tree_topology
+
+LOCATIONS = ["loc-{:02d}".format(index) for index in range(12)]
+
+MODES = ("indexed", "scan", "rebuild")
+
+
+def _mode_config(mode):
+    return BrokerConfig(indexed_dispatch=(mode != "scan"))
+
+
+def _invalidate_plans(network):
+    for broker in network.brokers.values():
+        if broker._dispatch_plan is not None:
+            broker._dispatch_plan.invalidate()
+
+
+def _window(rng):
+    span = rng.randint(1, 4)
+    start = rng.randint(0, len(LOCATIONS) - span)
+    return {"service": "parking", "location": ("in", LOCATIONS[start : start + span])}
+
+
+def _run_churn(mode, seed, strategy="covering"):
+    topology = balanced_tree_topology(depth=2, fanout=3)
+    network = PubSubNetwork(
+        topology, strategy=strategy, latency=0.01, config=_mode_config(mode)
+    )
+    leaves = topology.leaves()
+    rng = DeterministicRandom(seed)
+
+    producers = []
+    for index, leaf in enumerate(leaves[:2]):
+        producer = network.add_client("p{}".format(index), leaf)
+        producer.advertise({"service": "parking"})
+        producers.append(producer)
+    network.settle()
+
+    clients = []
+    subscriptions = {}
+    for index in range(8):
+        client = network.add_client("c{}".format(index), rng.choice(leaves))
+        subscriptions[client.client_id] = [client.subscribe(_window(rng))]
+        clients.append(client)
+    network.settle()
+    if mode == "rebuild":
+        _invalidate_plans(network)
+
+    advert_ids = {}
+    for _ in range(60):
+        action = rng.choice(
+            ["publish", "publish", "publish", "subscribe", "unsubscribe", "move", "advertise"]
+        )
+        client = rng.choice(clients)
+        if action == "publish":
+            rng.choice(producers).publish(
+                {
+                    "service": "parking",
+                    "location": rng.choice(LOCATIONS),
+                    "cost": rng.randint(0, 5),
+                    "seq": rng.randint(0, 10_000),
+                }
+            )
+        elif action == "subscribe":
+            subscriptions[client.client_id].append(client.subscribe(_window(rng)))
+        elif action == "unsubscribe":
+            ids = subscriptions[client.client_id]
+            if ids:
+                client.unsubscribe(ids.pop(rng.randint(0, len(ids) - 1)))
+        elif action == "move":
+            client.move_to(network.broker(rng.choice(leaves)))
+        else:
+            producer = rng.choice(producers)
+            existing = advert_ids.pop(producer.client_id, None)
+            if existing is not None:
+                producer.unadvertise(existing)
+            else:
+                advert_ids[producer.client_id] = producer.advertise(
+                    {"service": "parking", "location": ("in", rng.sample(LOCATIONS, 3))}
+                )
+        network.settle()
+        if mode == "rebuild":
+            _invalidate_plans(network)
+
+    counter = MessageCounter(network.trace)
+    breakdown = counter.breakdown()
+    forwarded = {
+        name: {
+            neighbour: sorted(map(repr, keys))
+            for neighbour, keys in broker._forwarded_subscriptions.items()
+        }
+        for name, broker in network.brokers.items()
+    }
+    deliveries = [
+        (record.time, record.client_id, record.subscription_id, record.identity, record.sequence)
+        for record in network.trace.delivery_records
+    ]
+    return {
+        "admin": breakdown.admin,
+        "notifications": breakdown.notifications,
+        "mobility": breakdown.mobility,
+        "tables": network.routing_table_sizes(),
+        "forwarded": forwarded,
+        "received": {c.client_id: c.received_identities() for c in clients},
+        "deliveries": deliveries,
+    }
+
+
+@pytest.mark.parametrize("strategy", ["covering", "merging", "flooding"])
+@pytest.mark.parametrize("seed", [3, 19])
+def test_three_mode_churn_equivalence(strategy, seed):
+    """Indexed, scan and indexed-with-rebuild agree on everything observable."""
+    indexed = _run_churn("indexed", seed, strategy)
+    scan = _run_churn("scan", seed, strategy)
+    rebuild = _run_churn("rebuild", seed, strategy)
+    assert indexed == scan
+    assert rebuild == scan
+
+
+def test_indexed_dispatch_skips_table_matching():
+    """The hot path must not fall back to the table's candidate engine."""
+    simulator = Simulator()
+    broker = Broker("B", simulator, make_strategy("covering"), config=BrokerConfig())
+    sink = []
+    broker.add_link(
+        Link(simulator, "B", "N1", lambda message, link: sink.append(message), FixedLatency(0.0))
+    )
+    broker.subscription_table.add(Filter({"service": "parking"}), "N1", "s1")
+    calls = []
+    original_entries = broker.subscription_table.matching_entries
+    original_destinations = broker.subscription_table.matching_destinations
+    broker.subscription_table.matching_entries = (
+        lambda attributes: calls.append("entries") or original_entries(attributes)
+    )
+    broker.subscription_table.matching_destinations = (
+        lambda attributes: calls.append("destinations") or original_destinations(attributes)
+    )
+    from repro.messages.notification import Notification
+
+    broker._handle_notification(
+        Notification({"service": "parking"}, "p", 1), from_destination="c1"
+    )
+    assert calls == []
+    assert broker.counters["notifications_forwarded"] == 1
+
+
+def test_scan_mode_has_no_dispatch_plan():
+    simulator = Simulator()
+    broker = Broker(
+        "B",
+        simulator,
+        make_strategy("covering"),
+        config=BrokerConfig(indexed_dispatch=False),
+    )
+    assert broker._dispatch_plan is None
+
+
+def test_advert_gate_counters_account_hits_and_misses():
+    simulator = Simulator()
+    broker = Broker("B", simulator, make_strategy("covering"), config=BrokerConfig())
+    sink = []
+    broker.add_link(
+        Link(simulator, "B", "N1", lambda message, link: sink.append(message), FixedLatency(0.0))
+    )
+    broker.advertisement_table.add(Filter({"service": "parking"}), "N1", "a1")
+    filter_ = Filter({"service": "parking", "location": "a"})
+    assert broker._advertised_via("N1", filter_) is True
+    assert broker.counters["advert_gate_misses"] == 1
+    assert broker._advertised_via("N1", filter_) is True
+    assert broker.counters["advert_gate_hits"] == 1

@@ -1,0 +1,282 @@
+"""The counting engine must agree with brute-force ``Filter.matches``.
+
+Unit tests pin the index structures (equality buckets, bisected
+comparison arrays, interval lists, residual scans, always-match and
+refcount bookkeeping); hypothesis properties check exhaustively that
+``PredicateIndex`` + ``CountingMatcher`` return exactly the brute-force
+match set over generated filters and notifications — including
+``MatchNone``, ``MatchAll`` and attribute-absence edge cases.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dispatch.counting import CountingMatcher
+from repro.dispatch.predicate_index import PredicateIndex
+from repro.filters.constraints import AnyValue, Between, Exists, NotEquals, Prefix
+from repro.filters.filter import Filter, MatchAll, MatchNone
+
+
+def F(**constraints):
+    return Filter(constraints)
+
+
+def make_matcher(*filters):
+    index = PredicateIndex()
+    for filter_ in filters:
+        index.add(filter_)
+    return index, CountingMatcher(index)
+
+
+def match_keys(matcher, attributes):
+    return {filter_.key() for filter_ in matcher.match(attributes)}
+
+
+class TestOperatorClasses:
+    def test_equality_bucket(self):
+        _, matcher = make_matcher(F(service="parking"), F(service="fuel"))
+        assert match_keys(matcher, {"service": "parking"}) == {F(service="parking").key()}
+        assert match_keys(matcher, {"service": "bus"}) == set()
+
+    def test_in_set_buckets_one_per_value(self):
+        index, matcher = make_matcher(F(location=("in", ["a", "b"])))
+        assert index.predicate_count == 1
+        for value in ("a", "b"):
+            assert match_keys(matcher, {"location": value})
+        assert not match_keys(matcher, {"location": "c"})
+
+    def test_comparisons_are_bisected_not_evaluated(self):
+        filters = [F(cost=(op, 5)) for op in ("<", "<=", ">", ">=")]
+        _, matcher = make_matcher(*filters)
+        for value, expected_ops in [(4, {"lt", "le"}), (5, {"le", "ge"}), (6, {"gt", "ge"})]:
+            matched = match_keys(matcher, {"cost": value})
+            expected = {f.key() for f in filters if f.matches({"cost": value})}
+            assert matched == expected
+            assert {key[0][1][0] for key in matched} == expected_ops
+
+    def test_string_comparisons_do_not_mix_with_numbers(self):
+        _, matcher = make_matcher(F(name=(">=", "m")), F(cost=("<", 3)))
+        assert match_keys(matcher, {"name": "z"}) == {F(name=(">=", "m")).key()}
+        assert match_keys(matcher, {"name": 7}) == set()
+
+    def test_between_degenerate_uses_equality_bucket(self):
+        closed = Filter({"a": Between(5, 5)})
+        half_open = Filter({"a": Between(5, 5, low_inclusive=False)})
+        _, matcher = make_matcher(closed, half_open)
+        assert match_keys(matcher, {"a": 5}) == {closed.key()}
+        assert match_keys(matcher, {"a": 5.0}) == {closed.key()}
+
+    def test_between_interval_list(self):
+        inner = Filter({"cost": Between(2, 4)})
+        outer = Filter({"cost": Between(0, 10, high_inclusive=False)})
+        _, matcher = make_matcher(inner, outer)
+        assert match_keys(matcher, {"cost": 3}) == {inner.key(), outer.key()}
+        assert match_keys(matcher, {"cost": 10}) == set()
+        assert match_keys(matcher, {"cost": 0}) == {outer.key()}
+
+    def test_residual_constraints(self):
+        ne = Filter({"service": NotEquals("parking")})
+        prefix = Filter({"service": Prefix("par")})
+        exists = Filter({"service": Exists()})
+        _, matcher = make_matcher(ne, prefix, exists)
+        assert match_keys(matcher, {"service": "parking"}) == {prefix.key(), exists.key()}
+        assert match_keys(matcher, {"service": "bus"}) == {ne.key(), exists.key()}
+        assert match_keys(matcher, {}) == set()
+
+
+class TestEdgeCases:
+    def test_absent_attribute_fails_presence_constraints(self):
+        _, matcher = make_matcher(F(service="parking", cost=("<", 3)))
+        assert not match_keys(matcher, {"service": "parking"})
+        assert match_keys(matcher, {"service": "parking", "cost": 2})
+
+    def test_any_value_constraint_is_not_a_predicate(self):
+        filter_ = Filter({"service": "parking", "note": AnyValue()})
+        index, matcher = make_matcher(filter_)
+        assert index.fid_arity[0] == 1  # only the equality counts
+        assert match_keys(matcher, {"service": "parking"}) == {filter_.key()}
+        assert match_keys(matcher, {"service": "parking", "note": 42}) == {filter_.key()}
+
+    def test_match_all_and_empty_filter_always_match(self):
+        _, matcher = make_matcher(MatchAll(), F(service="parking"))
+        assert len(matcher.match({})) == 1
+        assert len(matcher.match({"service": "parking"})) == 2
+
+    def test_match_none_is_rejected(self):
+        index = PredicateIndex()
+        assert index.add(MatchNone()) is False
+        assert len(index) == 0
+        assert CountingMatcher(index).match({"a": 1}) == []
+
+    def test_opaque_subclass_falls_back_to_whole_filter_evaluation(self):
+        class Oddball(Filter):
+            __slots__ = ()
+
+            def matches(self, attributes):
+                return attributes.get("cost", 0) % 2 == 1
+
+        odd = Oddball({"service": "parking"})
+        index, matcher = make_matcher(odd)
+        assert index.opaque_fids
+        assert match_keys(matcher, {"cost": 3}) == {odd.key()}
+        assert match_keys(matcher, {"cost": 2}) == set()
+
+    def test_bool_values_never_hit_numeric_structures(self):
+        _, matcher = make_matcher(F(flag=True), F(flag=1), F(cost=("<", 3)))
+        assert match_keys(matcher, {"flag": True}) == {F(flag=True).key()}
+        assert match_keys(matcher, {"flag": 1}) == {F(flag=1).key()}
+
+
+class TestRefcountingAndRemoval:
+    def test_shared_predicates_are_interned_once(self):
+        index, _ = make_matcher(
+            F(service="parking", location="a"), F(service="parking", location="b")
+        )
+        assert index.predicate_count == 3  # one shared eq + two locations
+
+    def test_refcounted_add_remove(self):
+        index = PredicateIndex()
+        filter_ = F(service="parking")
+        assert index.add(filter_) is True
+        assert index.add(filter_) is False
+        assert index.remove(filter_) is True  # still referenced
+        assert len(index) == 1
+        assert index.remove(filter_) is True
+        assert len(index) == 0
+        assert index.predicate_count == 0
+        assert CountingMatcher(index).match({"service": "parking"}) == []
+
+    def test_structures_are_empty_after_full_removal(self):
+        filters = [
+            F(service="parking", cost=("<", 3)),
+            F(location=("in", ["a", "b"]), cost=("between", 1, 5)),
+            F(note=("!=", "x")),
+            MatchAll(),
+        ]
+        index = PredicateIndex()
+        for filter_ in filters:
+            index.add(filter_)
+        for filter_ in filters:
+            assert index.remove(filter_)
+        assert index.predicate_count == 0
+        assert index._eq == {} and index._cmp == {}
+        assert index._interval_lows == {} and index._residual == {}
+        assert index.always_fids == set()
+
+    def test_randomized_add_remove_matches_brute_force(self):
+        rng = random.Random(9)
+        pool = [
+            F(service=rng.choice(["parking", "fuel"])),
+            F(cost=(rng.choice(["<", "<=", ">", ">="]), rng.randint(0, 5))),
+            F(location=("in", ["a", "b", "c"][: rng.randint(1, 3)])),
+            F(cost=("between", 1, 4), service="parking"),
+            F(note=("!=", "x")),
+            MatchAll(),
+        ]
+        index = PredicateIndex()
+        matcher = CountingMatcher(index)
+        live = []
+        for step in range(300):
+            if live and rng.random() < 0.45:
+                filter_ = live.pop(rng.randrange(len(live)))
+                index.remove(filter_)
+            else:
+                filter_ = rng.choice(pool)
+                index.add(filter_)
+                live.append(filter_)
+            notification = {
+                "service": rng.choice(["parking", "fuel", "bus"]),
+                "cost": rng.randint(0, 6),
+                "location": rng.choice(["a", "b", "c", "d"]),
+            }
+            expected = {f.key() for f in live if f.matches(notification)}
+            assert match_keys(matcher, notification) == expected
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis properties: index == brute force
+# ---------------------------------------------------------------------------
+
+ATTRIBUTES = ["service", "location", "cost", "floor"]
+STRING_VALUES = ["parking", "fuel", "a", "b", "c"]
+NUMBER_VALUES = [0, 1, 2, 3, 5, 10]
+
+
+def constraint_specs():
+    return st.one_of(
+        st.sampled_from(STRING_VALUES),
+        st.sampled_from(NUMBER_VALUES),
+        st.sampled_from([True, False]),
+        st.tuples(st.sampled_from(["<", "<=", ">", ">="]), st.sampled_from(NUMBER_VALUES)),
+        st.tuples(st.sampled_from(["<", "<=", ">", ">="]), st.sampled_from(STRING_VALUES)),
+        st.tuples(st.just("!=",), st.sampled_from(STRING_VALUES + NUMBER_VALUES)),
+        st.tuples(st.just("prefix"), st.sampled_from(["p", "par", "fu", ""])),
+        st.just(("exists",)),
+        st.just(("any",)),
+        st.tuples(st.just("in"), st.lists(st.sampled_from(STRING_VALUES), min_size=1, max_size=3)),
+        st.tuples(
+            st.just("between"),
+            st.sampled_from(NUMBER_VALUES),
+            st.sampled_from(NUMBER_VALUES),
+        ).filter(lambda spec: spec[1] <= spec[2]),
+    )
+
+
+def plain_filters():
+    return st.dictionaries(
+        st.sampled_from(ATTRIBUTES), constraint_specs(), min_size=0, max_size=3
+    ).map(Filter)
+
+
+def any_filters():
+    return st.one_of(plain_filters(), st.just(MatchNone()), st.just(MatchAll()))
+
+
+def notifications():
+    return st.dictionaries(
+        st.sampled_from(ATTRIBUTES),
+        st.one_of(
+            st.sampled_from(STRING_VALUES),
+            st.sampled_from(NUMBER_VALUES),
+            st.sampled_from([True, False]),
+        ),
+        min_size=0,
+        max_size=4,
+    )
+
+
+@settings(max_examples=300, deadline=None)
+@given(filters=st.lists(any_filters(), max_size=8), notification=notifications())
+def test_counting_match_equals_brute_force(filters, notification):
+    index = PredicateIndex()
+    for filter_ in filters:
+        index.add(filter_)
+    matcher = CountingMatcher(index)
+    expected = {
+        f.key() for f in filters if not isinstance(f, MatchNone) and f.matches(notification)
+    }
+    assert {f.key() for f in matcher.match(notification)} == expected
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    filters=st.lists(any_filters(), min_size=2, max_size=8),
+    removals=st.lists(st.integers(min_value=0, max_value=7), max_size=6),
+    notification=notifications(),
+)
+def test_counting_match_survives_removals(filters, removals, notification):
+    index = PredicateIndex()
+    for filter_ in filters:
+        index.add(filter_)
+    live = list(filters)
+    for position in removals:
+        if not live:
+            break
+        filter_ = live.pop(position % len(live))
+        index.remove(filter_)
+    matcher = CountingMatcher(index)
+    expected = {
+        f.key() for f in live if not isinstance(f, MatchNone) and f.matches(notification)
+    }
+    assert {f.key() for f in matcher.match(notification)} == expected

@@ -115,6 +115,27 @@ class TestCoveringIndex:
         assert 0 in candidates
         assert 1 not in candidates
 
+    def test_shared_equality_does_not_defeat_pruning(self):
+        # Every filter shares service=parking; with the old first-finite
+        # anchor they all landed in one bucket and every pair was tested.
+        # The selectivity policy spreads later filters over their location
+        # buckets, so provably disjoint coverers are pruned.
+        coverers = [
+            F(service="parking", location=("in", ["a", "b"])),
+            F(service="parking", location=("in", ["c", "d"])),
+            F(service="parking", location=("in", ["e", "f"])),
+            F(service="parking", location=("in", ["g", "h"])),
+        ]
+        target = F(service="parking", location=("in", ["e"]))
+        candidates = self._candidates(coverers, target)
+        assert 2 in candidates  # the only possible coverer
+        # At most the bucket-loaded first filter rides along; the other
+        # disjoint ones are pruned.
+        assert len(candidates) <= 2
+        for position, coverer in enumerate(coverers):
+            if filter_covers(coverer, target):
+                assert position in candidates
+
     def test_match_none_target_scans_everything(self):
         index = CoveringIndex()
         index.add(0, F(a=1))

@@ -148,12 +148,48 @@ class TestRemovalAndIndexPositions:
         assert engine._scan_list == set()
         assert engine._index_position == {}
 
-    def test_index_position_is_lexicographically_smallest_equality(self):
+    def test_index_position_tie_breaks_lexicographically(self):
+        # On an empty index every bucket is equally (un)loaded; the shared
+        # selectivity policy then falls back to the lexicographically
+        # smallest attribute, matching the engine's historical behaviour.
         engine = MatchingEngine()
         engine.add(F(zebra="z", alpha="a", cost=("<", 3)), "x")
         ((position, keys),) = engine._equality_index.items()
         assert position[0] == "alpha"
         assert len(keys) == 1
+
+    def test_shared_equality_stops_attracting_anchors(self):
+        # A value bucket shared by every filter prunes nothing; once it
+        # fills up, later filters must anchor on their more selective
+        # constraint instead (the covering-index anchor policy, shared via
+        # repro.filters.selectivity.pick_anchor).
+        engine = MatchingEngine()
+        # "area" sorts before "zone", so the first filter anchors on the
+        # shared equality; every later one finds that bucket occupied and
+        # anchors on its distinct zone value instead.
+        engine.add(F(area="center", zone="a"), 0)
+        for index, zone in enumerate(["b", "c", "d"]):
+            engine.add(F(area="center", zone=zone), index + 1)
+        assert len(engine._equality_index[("area", ("string", "center"))]) == 1
+        for zone in ("b", "c", "d"):
+            assert len(engine._equality_index[("zone", ("string", zone))]) == 1
+
+    def test_in_set_anchor_registers_one_bucket_per_value(self):
+        engine = MatchingEngine()
+        # Fill the service bucket so the InSet anchor becomes cheaper.
+        engine.add(F(service="parking"), "other")
+        filter_ = F(service="parking", location=("in", ["a", "b"]))
+        engine.add(filter_, "x")
+        for value in ("a", "b"):
+            assert engine._equality_index[("location", ("string", value))]
+        assert engine.matching_payloads({"service": "parking", "location": "a"}) == {
+            "other",
+            "x",
+        }
+        assert engine.matching_payloads({"service": "parking", "location": "z"}) == {"other"}
+        assert engine.remove(filter_, "x")
+        assert ("location", ("string", "a")) not in engine._equality_index
+        assert ("location", ("string", "b")) not in engine._equality_index
 
     def test_shared_bucket_survives_partial_removal(self):
         engine = MatchingEngine()
