@@ -40,7 +40,7 @@ from repro.core import (
 )
 from repro.filters import Filter, MatchAll, MatchNone
 from repro.messages import Notification
-from repro.sim import DeterministicRandom, Simulator, TraceRecorder
+from repro.runtime.trace import TraceRecorder
 from repro.topology import (
     BrokerGraph,
     balanced_tree_topology,
@@ -50,6 +50,25 @@ from repro.topology import (
 )
 
 __version__ = "1.0.0"
+
+
+def __getattr__(name):
+    """Lazy re-exports of the simulator backend (PEP 562).
+
+    ``repro.Simulator`` and ``repro.DeterministicRandom`` keep working,
+    but plain ``import repro`` no longer loads the simulator: the broker
+    core is backend-agnostic, and the sim backend is pulled in only when
+    something actually uses it (``tests/test_layering.py`` checks this).
+    """
+    if name == "Simulator":
+        from repro.sim.engine import Simulator
+
+        return Simulator
+    if name == "DeterministicRandom":
+        from repro.sim.rng import DeterministicRandom
+
+        return DeterministicRandom
+    raise AttributeError("module {!r} has no attribute {!r}".format(__name__, name))
 
 __all__ = [
     "Broker",

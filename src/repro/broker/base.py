@@ -54,9 +54,8 @@ from repro.messages.mobility import (
 from repro.messages.notification import Notification
 from repro.routing.strategies import RoutingStrategy
 from repro.routing.table import RoutingTable
-from repro.sim.engine import Simulator
-from repro.sim.network import Link
-from repro.sim.trace import TraceRecorder
+from repro.runtime.protocols import Channel, Clock
+from repro.runtime.trace import TraceRecorder
 
 
 def subscription_token(client_id: str, subscription_id: str) -> str:
@@ -209,19 +208,24 @@ class Broker:
     def __init__(
         self,
         name: str,
-        simulator: Simulator,
+        clock: Clock,
         strategy: RoutingStrategy,
         trace: Optional[TraceRecorder] = None,
         config: Optional[BrokerConfig] = None,
     ) -> None:
         self.name = name
-        self.simulator = simulator
+        self.clock = clock
+        # Historical alias: the clock used to be the Simulator instance.
+        # The broker only ever reads ``now`` from it, which any backend
+        # clock provides; tests and client code written against the old
+        # attribute keep working.
+        self.simulator = clock
         self.strategy = strategy
         self.trace = trace
         self.config = config or BrokerConfig()
 
-        # Link management: neighbour broker name -> outgoing link.
-        self._links: Dict[str, Link] = {}
+        # Channel management: neighbour broker name -> outgoing channel.
+        self._links: Dict[str, Channel] = {}
 
         # Routing state.
         self.subscription_table = RoutingTable()
@@ -313,7 +317,7 @@ class Broker:
     # ------------------------------------------------------------------
     # Wiring
     # ------------------------------------------------------------------
-    def add_link(self, link: Link) -> None:
+    def add_link(self, link: Channel) -> None:
         """Register the outgoing link to a neighbour broker."""
         if link.source != self.name:
             raise ValueError(
@@ -332,7 +336,7 @@ class Broker:
         """Names of neighbouring brokers, sorted."""
         return sorted(self._links)
 
-    def link_to(self, neighbour: str) -> Link:
+    def link_to(self, neighbour: str) -> Channel:
         """The outgoing link to *neighbour* (raises ``KeyError`` if absent)."""
         return self._links[neighbour]
 
@@ -343,7 +347,7 @@ class Broker:
     # ------------------------------------------------------------------
     # Message entry points
     # ------------------------------------------------------------------
-    def receive(self, message: Message, link: Link) -> None:
+    def receive(self, message: Message, link: Channel) -> None:
         """Handle a message arriving over a broker-to-broker link."""
         self._dispatch(message, from_destination=link.source)
 
@@ -430,7 +434,7 @@ class Broker:
                 next_sequence=record.next_sequence,
                 max_buffer=self.config.counterpart_max_buffer,
             )
-            counterpart.created_at = self.simulator.now
+            counterpart.created_at = self.clock.now
             self._counterparts[token] = counterpart
 
     def client_subscribe(
@@ -482,7 +486,7 @@ class Broker:
         """Inject a notification published by a locally attached client."""
         self._require_client(client_id)
         if self.trace is not None:
-            self.trace.record_publish(self.simulator.now, notification)
+            self.trace.record_publish(self.clock.now, notification)
         self.counters["notifications_received"] += 1
         self._handle_notification(notification, from_destination=client_id)
 
@@ -514,7 +518,7 @@ class Broker:
             subscription_id=subscription_id,
             old_border=None,
             new_border=self.name,
-            started_at=self.simulator.now,
+            started_at=self.clock.now,
         )
         self.relocation_records.append(started)
 
@@ -529,7 +533,7 @@ class Broker:
             if replayed:
                 record.next_sequence = replayed[-1].sequence + 1
             started.replayed = len(replayed)
-            started.completed_at = self.simulator.now
+            started.completed_at = self.clock.now
             self._refresh_all_forwarding(exclude=client_id)
             return
 
@@ -560,7 +564,7 @@ class Broker:
                 # complete the relocation immediately with an empty replay
                 # so the client does not wait forever.
                 record.relocation_buffer = None
-                started.completed_at = self.simulator.now
+                started.completed_at = self.clock.now
         self._refresh_all_forwarding(exclude=client_id)
 
     def client_location_dependent_subscribe(
@@ -710,7 +714,7 @@ class Broker:
         self.counters["notifications_delivered"] += 1
         if self.trace is not None:
             self.trace.record_delivery(
-                self.simulator.now,
+                self.clock.now,
                 record.client_id,
                 record.subscription_id,
                 notification,
@@ -1304,7 +1308,7 @@ class Broker:
                     and relocation.subscription_id == subscription_id
                     and relocation.completed_at is None
                 ):
-                    relocation.completed_at = self.simulator.now
+                    relocation.completed_at = self.clock.now
                     relocation.old_border = message.origin_border
                     relocation.replayed = len(replayed)
                     relocation.fresh = len(fresh)

@@ -211,14 +211,14 @@ class Client:
             attributes=attributes,
             publisher=self.client_id,
             publisher_seq=self._publish_seq,
-            publish_time=self._broker.simulator.now,
+            publish_time=self._broker.clock.now,
         )
         self._broker.client_publish(self.client_id, notification)
         return notification
 
     def deliver(self, subscription_id: str, notification: Notification, sequence: int) -> None:
         """``notify``: called by the border broker to deliver a notification."""
-        time = self._broker.simulator.now if self._broker is not None else 0.0
+        time = self._broker.clock.now if self._broker is not None else 0.0
         self.received.append(
             ReceivedNotification(
                 time=time,

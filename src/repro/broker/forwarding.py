@@ -70,7 +70,11 @@ from __future__ import annotations
 from bisect import insort
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.filters.covering_cache import CoveringCache, minimal_cover_set_cached
+from repro.filters.covering_cache import (
+    CoveringCache,
+    CoveringIndex,
+    minimal_cover_set_cached,
+)
 from repro.filters.filter import Filter
 from repro.filters.merge_state import MergeState
 
@@ -114,6 +118,8 @@ class NeighbourForwardingState:
         "pair_refs",
         "pending",
         "_max_pos",
+        "_selection_index",
+        "_selection_by_pos",
     )
 
     def __init__(self, covers: CoversFn, merging: bool = False) -> None:
@@ -150,6 +156,17 @@ class NeighbourForwardingState:
         #: flush; the refresh only needs to look at these.
         self.pending: Set[Tuple[Any, str]] = set()
         self._max_pos = 0
+        #: CoveringIndex over the current selection, so `_first_cover`
+        #: only tests candidates that could possibly cover instead of
+        #: scanning the whole selection (maintained in the covering mode
+        #: only; merging selections hold synthesised filters and are
+        #: rebuilt wholesale anyway).
+        self._selection_index: Optional[CoveringIndex] = (
+            CoveringIndex() if covers is not None and self.merge_state is None else None
+        )
+        #: selection position -> selected filter key, mirrored with the
+        #: index so pruned candidates resolve back to selection entries.
+        self._selection_by_pos: Dict[int, Any] = {}
 
     # ------------------------------------------------------------------
     # Desired-pair bookkeeping
@@ -270,11 +287,28 @@ class NeighbourForwardingState:
     # Selection maintenance
     # ------------------------------------------------------------------
     def _first_cover(self, filter_: Filter) -> Optional[Any]:
-        """Key of the first selected filter (input order) covering *filter_*."""
+        """Key of the first selected filter (input order) covering *filter_*.
+
+        With the selection index active, only the structurally comparable
+        candidates are tested (a sound superset of the real coverers, see
+        :class:`~repro.filters.covering_cache.CoveringIndex`); positions
+        are visited in ascending order, which *is* selection order, so the
+        pruned walk returns exactly what the full scan would.
+        """
         covers = self.covers
         if covers is None:
             return None
         entries = self.entries
+        index = self._selection_index
+        if index is not None:
+            candidates = index.candidate_positions(filter_)
+            if candidates is not None:
+                by_pos = self._selection_by_pos
+                for pos in sorted(candidates):
+                    selected_key = by_pos[pos]
+                    if covers(entries[selected_key].filter, filter_):
+                        return selected_key
+                return None
         for _, selected_key in self.selection:
             if covers(entries[selected_key].filter, filter_):
                 return selected_key
@@ -285,6 +319,17 @@ class NeighbourForwardingState:
         self.selected.add(entry.key)
         self.assigned[entry.key] = entry.key
         self.members[entry.key] = {entry.key}
+        if self._selection_index is not None:
+            self._selection_index.add(entry.pos, entry.filter)
+            self._selection_by_pos[entry.pos] = entry.key
+
+    def _deselect(self, pos: int, key: Any) -> None:
+        """Remove ``(pos, key)`` from the selection (and the index)."""
+        self.selection.remove((pos, key))
+        self.selected.discard(key)
+        if self._selection_index is not None:
+            self._selection_index.remove(pos)
+            self._selection_by_pos.pop(pos, None)
 
     def _filter_added(self, entry: _InputEntry) -> None:
         """A filter appended at the end of the canonical input order."""
@@ -307,8 +352,7 @@ class NeighbourForwardingState:
         else:
             evicted = []
         for evicted_key in evicted:
-            self.selection.remove((self.entries[evicted_key].pos, evicted_key))
-            self.selected.discard(evicted_key)
+            self._deselect(self.entries[evicted_key].pos, evicted_key)
         self._select(entry)
         for evicted_key in evicted:
             # Every orphan is covered by the new filter (covering is
@@ -329,8 +373,7 @@ class NeighbourForwardingState:
             cover_key = self.assigned.pop(key)
             self.members[cover_key].discard(key)
             return
-        self.selection.remove((entry.pos, key))
-        self.selected.discard(key)
+        self._deselect(entry.pos, key)
         self.assigned.pop(key)
         own_members = self.members.pop(key)
         own_members.discard(key)
@@ -460,6 +503,9 @@ class NeighbourForwardingState:
         self.desired = {}
         self.pair_refs = {}
         self.pending.clear()
+        if self._selection_index is not None:
+            self._selection_index = CoveringIndex()
+            self._selection_by_pos = {}
         if self.merge_state is not None:
             self._rebuild_merging_reduction(ordered, cache)
             self.order_dirty = False
@@ -478,6 +524,9 @@ class NeighbourForwardingState:
             self.selected.add(entry.key)
             self.assigned[entry.key] = entry.key
             self.members[entry.key] = {entry.key}
+            if self._selection_index is not None:
+                self._selection_index.add(entry.pos, entry.filter)
+                self._selection_by_pos[entry.pos] = entry.key
         for entry in ordered:
             if entry.key in self.selected:
                 cover_key = entry.key

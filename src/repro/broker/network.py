@@ -2,66 +2,108 @@
 
 :class:`PubSubNetwork` takes a :class:`~repro.topology.BrokerGraph`,
 instantiates one :class:`~repro.broker.base.Broker` per node and one pair
-of FIFO links per edge, and exposes the handful of operations examples and
-experiments need: attach clients, advance simulated time, and read the
-trace.
+of FIFO channels per edge, and exposes the handful of operations examples
+and experiments need: attach clients, advance time, and read the trace.
+
+The assembly is backend-generic: all wiring goes through a
+:class:`~repro.runtime.protocols.Runtime`.  By default a
+:class:`~repro.runtime.sim.SimRuntime` is created (simulated time,
+latency-modelled links, deterministic event ordering — the behaviour
+every experiment in this repository is pinned to); passing
+``runtime=AioRuntime(...)`` runs the very same brokers on an asyncio
+event loop over framed byte streams instead (see
+:mod:`repro.runtime.aio`).  This module never imports the simulator
+package — the backend choice is the runtime's business.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.broker.base import Broker, BrokerConfig
 from repro.broker.client import Client
 from repro.routing.strategies import RoutingStrategy, make_strategy
-from repro.sim.engine import Simulator
-from repro.sim.network import FixedLatency, LatencyModel, Link
-from repro.sim.trace import TraceRecorder
+from repro.runtime.protocols import Clock, Runtime
+from repro.runtime.trace import TraceRecorder
 from repro.topology.graph import BrokerGraph
 
-#: Latency specification accepted by :class:`PubSubNetwork`: a constant, a
-#: per-edge mapping, or a factory called with ``(source, target)``.
-LatencySpec = Union[float, Mapping[Tuple[str, str], float], Callable[[str, str], LatencyModel]]
-
+#: Kept for backwards-compatible imports only; the authoritative default
+#: lives in :mod:`repro.runtime.sim` next to the latency models it
+#: parameterises (``PubSubNetwork`` defers to it via ``latency=None``).
 DEFAULT_LINK_LATENCY = 0.05  # 50 ms, a typical wide-area broker link
 
 
 class PubSubNetwork:
-    """A simulated broker network with attached clients."""
+    """A broker network with attached clients, on a pluggable runtime."""
 
     def __init__(
         self,
         graph: BrokerGraph,
-        strategy: Union[str, RoutingStrategy] = "covering",
-        latency: LatencySpec = DEFAULT_LINK_LATENCY,
-        simulator: Optional[Simulator] = None,
+        strategy: "str | RoutingStrategy" = "covering",
+        latency: Any = None,
+        simulator: Optional[Clock] = None,
         trace: Optional[TraceRecorder] = None,
         config: Optional[BrokerConfig] = None,
         batch_links: bool = True,
+        runtime: Optional[Runtime] = None,
     ) -> None:
         graph.validate()
         self.graph = graph
-        self.simulator = simulator or Simulator()
-        self.trace = trace or TraceRecorder()
+        if runtime is None:
+            # The default backend is the discrete-event simulator.  The
+            # import is deliberately local: the broker layer itself stays
+            # free of any simulator dependency (tests/test_layering.py
+            # enforces this); the sim backend is only pulled in when a
+            # caller actually asks for the default runtime.
+            from repro.runtime.sim import SimRuntime
+
+            sim_kwargs = {} if latency is None else {"latency": latency}
+            runtime = SimRuntime(
+                simulator=simulator,
+                trace=trace,
+                batch_links=batch_links,
+                **sim_kwargs,
+            )
+        else:
+            # The four sim-backend parameters configure the *default*
+            # runtime; combining them with an explicit one would silently
+            # drop them, so reject the conflict loudly.
+            conflicting = [
+                name
+                for name, passed in (
+                    ("latency", latency is not None),
+                    ("simulator", simulator is not None),
+                    ("trace", trace is not None),
+                    ("batch_links", batch_links is not True),
+                )
+                if passed
+            ]
+            if conflicting:
+                raise ValueError(
+                    "PubSubNetwork got both an explicit runtime and the "
+                    "sim-backend parameter(s) {}; configure the runtime "
+                    "instead".format(", ".join(conflicting))
+                )
+        self.runtime = runtime
+        self.clock: Clock = runtime.clock
+        self.trace: TraceRecorder = runtime.trace
         self.config = config or BrokerConfig()
-        self.batch_links = batch_links
         if isinstance(strategy, str):
             strategy_factory: Callable[[], RoutingStrategy] = lambda: make_strategy(strategy)
         else:
             strategy_name = strategy.name
             strategy_factory = lambda: make_strategy(strategy_name)
-        self._latency_spec = latency
 
         self.brokers: Dict[str, Broker] = {}
         for name in graph.brokers():
             self.brokers[name] = Broker(
                 name=name,
-                simulator=self.simulator,
+                clock=self.clock,
                 strategy=strategy_factory(),
                 trace=self.trace,
                 config=self.config,
             )
-        self.links: Dict[Tuple[str, str], Link] = {}
+        self.links: Dict[Tuple[str, str], Any] = {}
         for left, right in graph.edges():
             self._connect(left, right)
         self.clients: Dict[str, Client] = {}
@@ -69,40 +111,17 @@ class PubSubNetwork:
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
-    def _latency_model(self, source: str, target: str) -> LatencyModel:
-        spec = self._latency_spec
-        if isinstance(spec, (int, float)):
-            return FixedLatency(float(spec))
-        if callable(spec):
-            return spec(source, target)
-        # Mapping: accept either orientation of the edge key.
-        if (source, target) in spec:
-            return FixedLatency(float(spec[(source, target)]))
-        if (target, source) in spec:
-            return FixedLatency(float(spec[(target, source)]))
-        return FixedLatency(DEFAULT_LINK_LATENCY)
+    @property
+    def simulator(self) -> Clock:
+        """Historical alias for :attr:`clock` (the sim backend's clock is
+        the ``Simulator`` instance itself)."""
+        return self.clock
 
     def _connect(self, left: str, right: str) -> None:
         left_broker = self.brokers[left]
         right_broker = self.brokers[right]
-        forward = Link(
-            simulator=self.simulator,
-            source=left,
-            target=right,
-            deliver=right_broker.receive,
-            latency=self._latency_model(left, right),
-            trace=self.trace,
-            batch=self.batch_links,
-        )
-        backward = Link(
-            simulator=self.simulator,
-            source=right,
-            target=left,
-            deliver=left_broker.receive,
-            latency=self._latency_model(right, left),
-            trace=self.trace,
-            batch=self.batch_links,
-        )
+        forward = self.runtime.connect(left, right, right_broker.receive)
+        backward = self.runtime.connect(right, left, left_broker.receive)
         left_broker.add_link(forward)
         right_broker.add_link(backward)
         self.links[(left, right)] = forward
@@ -138,24 +157,28 @@ class PubSubNetwork:
         return client
 
     # ------------------------------------------------------------------
-    # Simulation control
+    # Execution control
     # ------------------------------------------------------------------
     @property
     def now(self) -> float:
-        """Current simulated time."""
-        return self.simulator.now
+        """Current time on the runtime's clock."""
+        return self.clock.now
 
     def run_until(self, time: float) -> int:
-        """Advance the simulation to *time* (inclusive)."""
-        return self.simulator.run_until(time)
+        """Advance execution to *time* (inclusive)."""
+        return self.runtime.run_until(time)
 
     def run_for(self, duration: float) -> int:
-        """Advance the simulation by *duration* time units."""
-        return self.simulator.run_until(self.simulator.now + duration)
+        """Advance execution by *duration* time units."""
+        return self.runtime.run_until(self.clock.now + duration)
 
     def settle(self, max_events: int = 1_000_000) -> int:
         """Run until no events remain (e.g. to let subscriptions propagate)."""
-        return self.simulator.drain(settle_limit=max_events)
+        return self.runtime.settle(max_events=max_events)
+
+    def close(self) -> None:
+        """Release the runtime's resources (a no-op for the simulator)."""
+        self.runtime.close()
 
     # ------------------------------------------------------------------
     # Measurements
@@ -170,5 +193,5 @@ class PubSubNetwork:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "PubSubNetwork(brokers={}, clients={}, t={:.3f})".format(
-            len(self.brokers), len(self.clients), self.simulator.now
+            len(self.brokers), len(self.clients), self.clock.now
         )

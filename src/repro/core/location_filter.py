@@ -26,7 +26,66 @@ from repro.core.adaptivity import UncertaintyPlan
 from repro.core.ploc import Location, MovementGraph
 from repro.filters.constraints import InSet
 from repro.filters.filter import Filter, MatchNone
+from repro.filters.wire import filter_from_wire, filter_to_wire
 from repro.messages.base import Message, MessageKind
+
+
+# ---------------------------------------------------------------------------
+# Wire codecs for the logical-mobility payload types
+# ---------------------------------------------------------------------------
+#
+# A LocationDependentSubscribe carries everything a broker needs to join
+# the scheme — the filter template, the movement graph and the
+# uncertainty plan — so each of those needs a JSON-friendly wire form.
+
+
+def movement_graph_to_wire(graph: MovementGraph) -> Dict[str, Any]:
+    """Locations and (deduplicated, sorted) edges of a movement graph."""
+    locations = graph.locations()
+    edges = [
+        [location, neighbour]
+        for location in locations
+        for neighbour in graph.neighbours(location)
+        if location < neighbour
+    ]
+    return {"locations": locations, "edges": edges}
+
+
+def movement_graph_from_wire(payload: Dict[str, Any]) -> MovementGraph:
+    """Inverse of :func:`movement_graph_to_wire`."""
+    return MovementGraph.from_edges(
+        [(left, right) for left, right in payload.get("edges", ())],
+        extra_locations=payload.get("locations", ()),
+    )
+
+
+def plan_to_wire(plan: UncertaintyPlan) -> Dict[str, Any]:
+    """Levels and label of an uncertainty plan."""
+    return {"levels": list(plan.levels), "name": plan.name}
+
+
+def plan_from_wire(payload: Dict[str, Any]) -> UncertaintyPlan:
+    """Inverse of :func:`plan_to_wire`."""
+    return UncertaintyPlan(levels=list(payload["levels"]), name=payload["name"])
+
+
+def location_filter_to_wire(location_filter: "LocationDependentFilter") -> Dict[str, Any]:
+    """Base filter (canonical keys), location attribute and vicinity."""
+    return {
+        "base": filter_to_wire(location_filter.base_filter),
+        "location_attribute": location_filter.location_attribute,
+        "vicinity": location_filter.vicinity,
+    }
+
+
+def location_filter_from_wire(payload: Dict[str, Any]) -> "LocationDependentFilter":
+    """Inverse of :func:`location_filter_to_wire`."""
+    base = filter_from_wire(payload["base"])
+    return LocationDependentFilter(
+        dict(base.constraints),
+        location_attribute=payload["location_attribute"],
+        vicinity=payload["vicinity"],
+    )
 
 
 class _MyLocMarker:
@@ -203,6 +262,29 @@ class LocationDependentSubscribe(Message):
             self.plan.name,
         )
 
+    def _wire_body(self) -> Dict[str, Any]:
+        return {
+            "client_id": self.client_id,
+            "subscription_id": self.subscription_id,
+            "location_filter": location_filter_to_wire(self.location_filter),
+            "movement_graph": movement_graph_to_wire(self.movement_graph),
+            "plan": plan_to_wire(self.plan),
+            "current_location": self.current_location,
+            "hop_index": self.hop_index,
+        }
+
+    @classmethod
+    def _from_wire_body(cls, payload: Dict[str, Any]) -> "LocationDependentSubscribe":
+        return cls(
+            client_id=payload["client_id"],
+            subscription_id=payload["subscription_id"],
+            location_filter=location_filter_from_wire(payload["location_filter"]),
+            movement_graph=movement_graph_from_wire(payload["movement_graph"]),
+            plan=plan_from_wire(payload["plan"]),
+            current_location=payload["current_location"],
+            hop_index=payload["hop_index"],
+        )
+
 
 class LocationDependentUnsubscribe(Message):
     """Withdraw a location-dependent subscription."""
@@ -224,4 +306,13 @@ class LocationDependentUnsubscribe(Message):
     def describe(self) -> str:
         return "LocationDependentUnsubscribe(client={}, sub={})".format(
             self.client_id, self.subscription_id
+        )
+
+    def _wire_body(self) -> Dict[str, Any]:
+        return {"client_id": self.client_id, "subscription_id": self.subscription_id}
+
+    @classmethod
+    def _from_wire_body(cls, payload: Dict[str, Any]) -> "LocationDependentUnsubscribe":
+        return cls(
+            client_id=payload["client_id"], subscription_id=payload["subscription_id"]
         )

@@ -56,8 +56,19 @@ class CountingMatcher:
         fid_arity = index.fid_arity
         matched: List[int] = list(index.always_fids)
         increments = 0
+        arity1_skips = 0
         for pid in satisfied:
             for fid in pid_fids[pid]:
+                arity = fid_arity[fid]
+                if arity == 1:
+                    # Arity-1 fast path: this satisfied predicate is the
+                    # filter's only predicate, so the filter matches right
+                    # here — no counter bump, no stamp.  (Each predicate
+                    # fires at most once per notification, so the fid
+                    # cannot be appended twice.)
+                    arity1_skips += 1
+                    matched.append(fid)
+                    continue
                 increments += 1
                 if stamps[fid] != generation:
                     stamps[fid] = generation
@@ -65,7 +76,7 @@ class CountingMatcher:
                 else:
                     count = counts[fid] + 1
                 counts[fid] = count
-                if count == fid_arity[fid]:
+                if count == arity:
                     matched.append(fid)
         if index.opaque_fids:
             fid_filter = index.fid_filter
@@ -79,5 +90,6 @@ class CountingMatcher:
         stats.matches += 1
         stats.satisfied_predicates += len(satisfied)
         stats.count_increments += increments
+        stats.arity1_fast_matches += arity1_skips
         stats.filters_matched += len(matched)
         return matched

@@ -21,6 +21,7 @@ class DispatchStats:
         "matches",
         "satisfied_predicates",
         "count_increments",
+        "arity1_fast_matches",
         "constraint_evals",
         "filters_matched",
     )
@@ -35,6 +36,11 @@ class DispatchStats:
         self.satisfied_predicates = 0
         #: Per-filter count bumps (the inner loop of the counting pass).
         self.count_increments = 0
+        #: Matches decided by the arity-1 fast path: a satisfied predicate
+        #: whose filter has exactly one predicate is a match immediately,
+        #: with no counter bump (each such skip is an increment the
+        #: pre-fast-path inner loop would have performed).
+        self.arity1_fast_matches = 0
         #: Raw ``Constraint.matches`` / ``Filter.matches`` evaluations the
         #: index could not answer from its buckets.
         self.constraint_evals = 0
@@ -47,6 +53,7 @@ class DispatchStats:
             "matches": self.matches,
             "satisfied_predicates": self.satisfied_predicates,
             "count_increments": self.count_increments,
+            "arity1_fast_matches": self.arity1_fast_matches,
             "constraint_evals": self.constraint_evals,
             "filters_matched": self.filters_matched,
         }

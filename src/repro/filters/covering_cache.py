@@ -128,12 +128,15 @@ class CoveringIndex:
       first accepted value must be in the coverer's bucket.
     """
 
-    __slots__ = ("_universal", "_by_attr", "_by_value")
+    __slots__ = ("_universal", "_by_attr", "_by_value", "_placements")
 
     def __init__(self) -> None:
         self._universal: List[int] = []
         self._by_attr: Dict[str, List[int]] = {}
         self._by_value: Dict[Tuple[str, Any], List[int]] = {}
+        # position -> where `add` placed it, so `remove` can undo the
+        # placement even though the anchor choice was load-dependent.
+        self._placements: Dict[int, Tuple[Any, ...]] = {}
 
     def add(self, position: int, filter_: Filter) -> None:
         """Index *filter_* (a potential coverer) under *position*."""
@@ -142,6 +145,7 @@ class CoveringIndex:
             anchor_attr, anchor_values = anchor
             for value in anchor_values:
                 self._by_value.setdefault((anchor_attr, value), []).append(position)
+            self._placements[position] = ("value", anchor_attr, anchor_values)
             return
         fallback_attr: Optional[str] = None
         for name, constraint in filter_.constraint_items():
@@ -151,8 +155,35 @@ class CoveringIndex:
             break
         if fallback_attr is not None:
             self._by_attr.setdefault(fallback_attr, []).append(position)
+            self._placements[position] = ("attr", fallback_attr)
         else:
             self._universal.append(position)
+            self._placements[position] = ("universal",)
+
+    def remove(self, position: int) -> None:
+        """Unindex a previously added *position* (no-op when unknown).
+
+        The one-shot reduction (:func:`minimal_cover_set_cached`) never
+        removes; long-lived indexes over a churning set — the delta
+        forwarding state's selection index — do.
+        """
+        placement = self._placements.pop(position, None)
+        if placement is None:
+            return
+        if placement[0] == "value":
+            _, anchor_attr, anchor_values = placement
+            for value in anchor_values:
+                bucket = self._by_value[(anchor_attr, value)]
+                bucket.remove(position)
+                if not bucket:
+                    del self._by_value[(anchor_attr, value)]
+        elif placement[0] == "attr":
+            bucket = self._by_attr[placement[1]]
+            bucket.remove(position)
+            if not bucket:
+                del self._by_attr[placement[1]]
+        else:
+            self._universal.remove(position)
 
     def _bucket_load(self, name: str, value: Any) -> int:
         bucket = self._by_value.get((name, value))

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Any, Dict, Optional
 
 from repro.filters.filter import Filter
+from repro.filters.wire import filter_from_wire, filter_to_wire
 from repro.messages.base import Message, MessageKind
 
 
@@ -39,6 +40,21 @@ class _FilterAdminMessage(Message):
     def describe(self) -> str:
         return "{}(subject={}, sub_id={}, {})".format(
             type(self).__name__, self.subject, self.subscription_id, self.filter
+        )
+
+    def _wire_body(self) -> Dict[str, Any]:
+        return {
+            "filter": filter_to_wire(self.filter),
+            "subject": self.subject,
+            "subscription_id": self.subscription_id,
+        }
+
+    @classmethod
+    def _from_wire_body(cls, payload: Dict[str, Any]) -> "_FilterAdminMessage":
+        return cls(
+            filter_from_wire(payload["filter"]),
+            subject=payload["subject"],
+            subscription_id=payload.get("subscription_id"),
         )
 
 

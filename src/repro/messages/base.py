@@ -27,6 +27,13 @@ class Message:
     a process-wide counter; the simulation is single-process so this is
     also deterministic) and an optional free-form ``meta`` dictionary used
     by traces and tests.
+
+    Every concrete message type is wire-codable: :meth:`to_wire` returns
+    a JSON-friendly payload (type name, message id, meta, plus the
+    subclass body from :meth:`_wire_body`) and :meth:`from_wire` rebuilds
+    an equal message from it.  ``meta`` must therefore hold only
+    JSON-representable values.  The asyncio backend serialises every
+    message through this codec (see :mod:`repro.messages.wire`).
     """
 
     kind: MessageKind = MessageKind.ADMIN
@@ -50,3 +57,67 @@ class Message:
     def reset_id_counter(cls) -> None:
         """Reset the global id counter (used by tests for reproducibility)."""
         cls._id_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Wire codec
+    # ------------------------------------------------------------------
+    def to_wire(self) -> Dict[str, Any]:
+        """The complete JSON-friendly wire payload of this message."""
+        payload: Dict[str, Any] = {"type": type(self).__name__, "id": self.message_id}
+        if self.meta:
+            payload["meta"] = dict(self.meta)
+        payload.update(self._wire_body())
+        return payload
+
+    def _wire_body(self) -> Dict[str, Any]:
+        """Subclass-specific payload fields (overridden by every subclass)."""
+        raise NotImplementedError(
+            "{} does not implement the wire codec".format(type(self).__name__)
+        )
+
+    @classmethod
+    def from_wire(cls, payload: Dict[str, Any]) -> "Message":
+        """Rebuild a message of this concrete type from its wire payload.
+
+        The message id crosses the wire too, so a decoded message keeps
+        the identity the sender assigned (the receiving process's counter
+        still advances independently for locally created messages).
+        """
+        message = cls._from_wire_body(payload)
+        message.message_id = int(payload["id"])
+        meta = payload.get("meta")
+        if meta:
+            message.meta = dict(meta)
+        return message
+
+    @classmethod
+    def _from_wire_body(cls, payload: Dict[str, Any]) -> "Message":
+        raise NotImplementedError(
+            "{} does not implement the wire codec".format(cls.__name__)
+        )
+
+    # ------------------------------------------------------------------
+    # Equality
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        """Structural equality via the wire payload.
+
+        Two messages are equal when they are the same concrete type and
+        serialise to the same wire payload (which includes the message
+        id).  Hashing stays identity-based — messages are mutable-ish
+        transport envelopes, never dictionary keys by value.
+        """
+        if self is other:
+            return True
+        if not isinstance(other, Message):
+            return NotImplemented
+        if type(self) is not type(other):
+            return False
+        try:
+            return self.to_wire() == other.to_wire()
+        except NotImplementedError:
+            # A codec-less subclass (e.g. a test stub): fall back to the
+            # pre-codec identity semantics instead of blowing up ==.
+            return NotImplemented
+
+    __hash__ = object.__hash__

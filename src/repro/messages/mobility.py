@@ -29,6 +29,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.filters.filter import Filter
+from repro.filters.wire import filter_from_wire, filter_to_wire
 from repro.messages.base import Message, MessageKind
 from repro.messages.notification import SequencedNotification
 
@@ -61,6 +62,25 @@ class MovedSubscribe(Message):
             self.client_id, self.subscription_id, self.last_sequence, self.new_border
         )
 
+    def _wire_body(self) -> Dict[str, Any]:
+        return {
+            "client_id": self.client_id,
+            "subscription_id": self.subscription_id,
+            "filter": filter_to_wire(self.filter),
+            "last_sequence": self.last_sequence,
+            "new_border": self.new_border,
+        }
+
+    @classmethod
+    def _from_wire_body(cls, payload: Dict[str, Any]) -> "MovedSubscribe":
+        return cls(
+            client_id=payload["client_id"],
+            subscription_id=payload["subscription_id"],
+            filter_=filter_from_wire(payload["filter"]),
+            last_sequence=payload["last_sequence"],
+            new_border=payload["new_border"],
+        )
+
 
 class FetchRequest(Message):
     """Fetch request ``(C, F, last_seq, junction)`` sent along the old path."""
@@ -90,6 +110,27 @@ class FetchRequest(Message):
     def describe(self) -> str:
         return "FetchRequest(client={}, sub={}, last_seq={}, junction={})".format(
             self.client_id, self.subscription_id, self.last_sequence, self.junction
+        )
+
+    def _wire_body(self) -> Dict[str, Any]:
+        return {
+            "client_id": self.client_id,
+            "subscription_id": self.subscription_id,
+            "filter": filter_to_wire(self.filter),
+            "last_sequence": self.last_sequence,
+            "junction": self.junction,
+            "new_border": self.new_border,
+        }
+
+    @classmethod
+    def _from_wire_body(cls, payload: Dict[str, Any]) -> "FetchRequest":
+        return cls(
+            client_id=payload["client_id"],
+            subscription_id=payload["subscription_id"],
+            filter_=filter_from_wire(payload["filter"]),
+            last_sequence=payload["last_sequence"],
+            junction=payload["junction"],
+            new_border=payload["new_border"],
         )
 
 
@@ -125,6 +166,25 @@ class Replay(Message):
             self.client_id, self.subscription_id, len(self.notifications), self.origin_border
         )
 
+    def _wire_body(self) -> Dict[str, Any]:
+        return {
+            "client_id": self.client_id,
+            "subscription_id": self.subscription_id,
+            "notifications": [sequenced.to_wire() for sequenced in self.notifications],
+            "origin_border": self.origin_border,
+        }
+
+    @classmethod
+    def _from_wire_body(cls, payload: Dict[str, Any]) -> "Replay":
+        return cls(
+            client_id=payload["client_id"],
+            subscription_id=payload["subscription_id"],
+            notifications=[
+                SequencedNotification.from_wire(item) for item in payload["notifications"]
+            ],
+            origin_border=payload["origin_border"],
+        )
+
 
 class RelocationComplete(Message):
     """End-of-replay marker that also authorises garbage collection.
@@ -154,6 +214,21 @@ class RelocationComplete(Message):
     def describe(self) -> str:
         return "RelocationComplete(client={}, sub={}, origin={})".format(
             self.client_id, self.subscription_id, self.origin_border
+        )
+
+    def _wire_body(self) -> Dict[str, Any]:
+        return {
+            "client_id": self.client_id,
+            "subscription_id": self.subscription_id,
+            "origin_border": self.origin_border,
+        }
+
+    @classmethod
+    def _from_wire_body(cls, payload: Dict[str, Any]) -> "RelocationComplete":
+        return cls(
+            client_id=payload["client_id"],
+            subscription_id=payload["subscription_id"],
+            origin_border=payload["origin_border"],
         )
 
 
@@ -188,6 +263,25 @@ class LocationUpdate(Message):
         self.old_location = old_location
         self.new_location = new_location
         self.hop_index = int(hop_index)
+
+    def _wire_body(self) -> Dict[str, Any]:
+        return {
+            "client_id": self.client_id,
+            "subscription_id": self.subscription_id,
+            "old_location": self.old_location,
+            "new_location": self.new_location,
+            "hop_index": self.hop_index,
+        }
+
+    @classmethod
+    def _from_wire_body(cls, payload: Dict[str, Any]) -> "LocationUpdate":
+        return cls(
+            client_id=payload["client_id"],
+            subscription_id=payload["subscription_id"],
+            old_location=payload["old_location"],
+            new_location=payload["new_location"],
+            hop_index=payload["hop_index"],
+        )
 
     def describe(self) -> str:
         return "LocationUpdate(client={}, sub={}, {} -> {}, hop={})".format(

@@ -67,6 +67,23 @@ class Notification(Message):
             self.publisher, self.publisher_seq, dict(sorted(self.attributes.items()))
         )
 
+    def _wire_body(self) -> Dict[str, Any]:
+        return {
+            "attributes": dict(sorted(self.attributes.items())),
+            "publisher": self.publisher,
+            "publisher_seq": self.publisher_seq,
+            "publish_time": self.publish_time,
+        }
+
+    @classmethod
+    def _from_wire_body(cls, payload: Dict[str, Any]) -> "Notification":
+        return cls(
+            attributes=payload["attributes"],
+            publisher=payload["publisher"],
+            publisher_seq=payload["publisher_seq"],
+            publish_time=payload["publish_time"],
+        )
+
 
 class SequencedNotification(Message):
     """A notification annotated with a per-subscription delivery sequence number.
@@ -102,4 +119,21 @@ class SequencedNotification(Message):
             self.subscription_id,
             self.sequence,
             self.notification.describe(),
+        )
+
+    def _wire_body(self) -> Dict[str, Any]:
+        return {
+            "notification": self.notification.to_wire(),
+            "client_id": self.client_id,
+            "subscription_id": self.subscription_id,
+            "sequence": self.sequence,
+        }
+
+    @classmethod
+    def _from_wire_body(cls, payload: Dict[str, Any]) -> "SequencedNotification":
+        return cls(
+            notification=Notification.from_wire(payload["notification"]),
+            client_id=payload["client_id"],
+            subscription_id=payload["subscription_id"],
+            sequence=payload["sequence"],
         )

@@ -1,7 +1,7 @@
 """Measurement and quality-of-service checking.
 
 Everything here is a pure function over the
-:class:`~repro.sim.trace.TraceRecorder` records (and the clients' received
+:class:`~repro.runtime.trace.TraceRecorder` records (and the clients' received
 lists), so measurements never interfere with the middleware under test.
 
 * :mod:`repro.metrics.qos` — the delivery guarantees of Section 4

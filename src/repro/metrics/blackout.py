@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Set, Tuple
 
 from repro.filters.filter import Filter
-from repro.sim.trace import TraceRecorder
+from repro.runtime.trace import TraceRecorder
 
 Identity = Tuple[str, int]
 

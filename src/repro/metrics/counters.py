@@ -18,7 +18,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.dispatch.stats import dispatch_stats
 from repro.filters.stats import matching_stats
 from repro.messages.base import MessageKind
-from repro.sim.trace import TraceRecorder
+from repro.runtime.trace import TraceRecorder
 
 
 @dataclass

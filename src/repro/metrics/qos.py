@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.filters.filter import Filter
-from repro.sim.trace import PublishRecord, TraceRecorder
+from repro.runtime.trace import PublishRecord, TraceRecorder
 
 Identity = Tuple[str, int]
 

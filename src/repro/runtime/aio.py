@@ -1,0 +1,413 @@
+"""Asyncio runtime backend: real event loop, framed byte streams.
+
+The second implementation of the runtime seam proves that the broker
+core is transport-agnostic: the very same :class:`~repro.broker.base.Broker`
+objects that run under the discrete-event simulator run here on an
+asyncio event loop, with every message serialised through the wire codec
+(:mod:`repro.messages.wire`) into length-prefixed frames on a FIFO byte
+stream — the paper's "point-to-point, FIFO order communication links,
+e.g., TCP connections" (Section 2.1), for real.
+
+Two transports:
+
+* ``memory`` (default) — an in-process duplex byte pipe per direction.
+  Messages are still *fully* encoded to bytes and re-decoded on arrival
+  (no object sharing), so the codec is exercised end to end, but no
+  sockets are involved and delivery scheduling is deterministic.
+* ``tcp`` — one real TCP connection per directed channel over loopback,
+  using ``asyncio.start_server`` / ``open_connection``.
+
+Execution model: client operations (subscribe, publish, move_to, ...)
+are plain synchronous calls made while the loop is parked; they enqueue
+frames on the channels.  :meth:`AioRuntime.settle` then spins the loop
+until the network is quiescent (no frame in flight anywhere), mirroring
+the simulator's ``drain``.  An in-flight counter is incremented at send
+time and decremented after the receiving broker finished processing the
+message — including any frames that processing sent, so quiescence means
+the whole causal cascade has completed.
+
+The clock is the loop's monotonic clock, rebased to zero at runtime
+creation.  ``settle`` does not wait for *timers* (the simulator's drain
+runs all future events; real time cannot be fast-forwarded) — use
+:meth:`AioRuntime.run_until` to let scheduled callbacks fire.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+from typing import Any, Callable, List, Optional
+
+from repro.messages.base import Message
+from repro.messages.wire import (
+    FRAME_HEADER_SIZE,
+    decode_frame_payload,
+    decode_message,
+    encode_frame,
+)
+from repro.runtime.trace import TraceRecorder
+
+
+class AioClock:
+    """The event loop's monotonic clock, rebased to zero."""
+
+    def __init__(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._loop = loop
+        self._start = loop.time()
+
+    @property
+    def now(self) -> float:
+        """Seconds since the runtime was created."""
+        return self._loop.time() - self._start
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+        **kwargs: Any,
+    ) -> asyncio.TimerHandle:
+        """Run ``callback`` *delay* seconds from now (loop timer)."""
+        if delay < 0:
+            raise ValueError("cannot schedule {!r} in the past".format(label or callback))
+        if kwargs:
+            callback = functools.partial(callback, **kwargs)
+        return self._loop.call_later(delay, callback, *args)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+        **kwargs: Any,
+    ) -> asyncio.TimerHandle:
+        """Run ``callback`` at absolute runtime time *time*."""
+        if time < self.now:
+            raise ValueError(
+                "cannot schedule {!r} in the past (time={} < now={})".format(
+                    label or callback, time, self.now
+                )
+            )
+        if kwargs:
+            callback = functools.partial(callback, **kwargs)
+        return self._loop.call_at(self._start + time, callback, *args)
+
+
+class _BytePipe:
+    """A minimal in-process FIFO byte stream (single reader)."""
+
+    __slots__ = ("_buffer", "_waiter")
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._waiter: Optional[asyncio.Future] = None
+
+    def feed(self, data: bytes) -> None:
+        """Append bytes; wake the blocked reader, if any."""
+        self._buffer.extend(data)
+        waiter, self._waiter = self._waiter, None
+        if waiter is not None and not waiter.done():
+            waiter.set_result(None)
+
+    async def readexactly(self, count: int) -> bytes:
+        """Return exactly *count* bytes, waiting for them to arrive."""
+        while len(self._buffer) < count:
+            self._waiter = asyncio.get_event_loop().create_future()
+            await self._waiter
+        data = bytes(self._buffer[:count])
+        del self._buffer[:count]
+        return data
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class AioChannel:
+    """A unidirectional FIFO channel carrying wire frames.
+
+    Satisfies the :class:`~repro.runtime.protocols.Channel` protocol.
+    ``send`` encodes the message into a frame and hands the bytes to the
+    transport; a reader task reassembles frames, decodes the message and
+    invokes the delivery callback.  Per-channel FIFO order follows from
+    the byte stream.
+    """
+
+    def __init__(
+        self,
+        runtime: "AioRuntime",
+        source: str,
+        target: str,
+        deliver: Callable[[Message, "AioChannel"], None],
+    ) -> None:
+        self.runtime = runtime
+        self.source = source
+        self.target = target
+        self._deliver = deliver
+        self.sent_count = 0
+        self.delivered_count = 0
+        self._started = False
+        # Memory transport state.
+        self._pipe = _BytePipe()
+        # TCP transport state.
+        self._backlog: List[bytes] = []
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._read_task: Optional[asyncio.Task] = None
+
+    @property
+    def name(self) -> str:
+        """Human-readable channel identifier ``source->target``."""
+        return "{}->{}".format(self.source, self.target)
+
+    # ------------------------------------------------------------------
+    # Sending (synchronous; callable while the loop is parked)
+    # ------------------------------------------------------------------
+    def send(self, message: Message) -> None:
+        """Frame and enqueue *message* for FIFO delivery."""
+        self.sent_count += 1
+        runtime = self.runtime
+        if runtime.trace is not None:
+            runtime.trace.record_link(runtime.clock.now, self.source, self.target, message)
+        frame = encode_frame(message)
+        runtime._message_sent()
+        if runtime.transport == "memory":
+            self._pipe.feed(frame)
+        elif self._writer is not None:
+            self._writer.write(frame)
+        else:
+            # The TCP connection is established lazily on the first
+            # settle; frames sent before that wait in the backlog.
+            self._backlog.append(frame)
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    async def _start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        if self.runtime.transport == "memory":
+            self._read_task = asyncio.get_event_loop().create_task(
+                self._read_loop(self._pipe)
+            )
+            return
+        # TCP: one loopback connection per directed channel.  The server
+        # side is the receiving end; the connecting side writes frames.
+        accepted: asyncio.Future = asyncio.get_event_loop().create_future()
+
+        def on_accept(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+            if not accepted.done():
+                accepted.set_result((reader, writer))
+
+        self._server = await asyncio.start_server(on_accept, self.runtime.host, 0)
+        port = self._server.sockets[0].getsockname()[1]
+        _, self._writer = await asyncio.open_connection(self.runtime.host, port)
+        reader, _ = await accepted
+        self._read_task = asyncio.get_event_loop().create_task(self._read_loop(reader))
+        for frame in self._backlog:
+            self._writer.write(frame)
+        self._backlog.clear()
+
+    async def _read_loop(self, stream: Any) -> None:
+        """Reassemble frames, decode and deliver — the receive half."""
+        runtime = self.runtime
+        while True:
+            header = await stream.readexactly(FRAME_HEADER_SIZE)
+            length = decode_frame_payload(header)
+            payload = await stream.readexactly(length)
+            message = decode_message(payload)
+            self.delivered_count += 1
+            try:
+                self._deliver(message, self)
+            finally:
+                runtime._message_done()
+            # Yield between messages so channels drain round-robin
+            # rather than one channel starving the others.
+            await asyncio.sleep(0)
+
+    async def _close(self) -> None:
+        if self._read_task is not None:
+            self._read_task.cancel()
+            try:
+                await self._read_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._read_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except Exception:
+                pass
+            self._writer = None
+        if self._server is not None:
+            self._server.close()
+            try:
+                await self._server.wait_closed()
+            except Exception:
+                pass
+            self._server = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "AioChannel({})".format(self.name)
+
+
+class AioRuntime:
+    """Runtime backend executing brokers on an asyncio event loop."""
+
+    def __init__(
+        self,
+        transport: str = "memory",
+        host: str = "127.0.0.1",
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        if transport not in ("memory", "tcp"):
+            raise ValueError("transport must be 'memory' or 'tcp', got {!r}".format(transport))
+        self.transport = transport
+        self.host = host
+        self.loop = asyncio.new_event_loop()
+        self._clock = AioClock(self.loop)
+        self._trace = trace if trace is not None else TraceRecorder()
+        self._channels: List[AioChannel] = []
+        self._in_flight = 0
+        self._closed = False
+        # Set by an active drain so `_message_done` can wake it exactly
+        # when the network goes quiescent (or the delivery cap trips).
+        self._idle_event: Optional[asyncio.Event] = None
+        self._drain_delivered = 0
+        self._drain_cap: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Runtime protocol
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> AioClock:
+        return self._clock
+
+    @property
+    def trace(self) -> TraceRecorder:
+        return self._trace
+
+    def connect(
+        self, source: str, target: str, deliver: Callable[[Message, AioChannel], None]
+    ) -> AioChannel:
+        """Create the framed FIFO channel from *source* to *target*."""
+        channel = AioChannel(self, source, target, deliver)
+        self._channels.append(channel)
+        return channel
+
+    def settle(self, max_events: int = 1_000_000) -> int:
+        """Spin the loop until no frame is in flight anywhere.
+
+        Returns the number of messages delivered during this call.  The
+        *max_events* cap mirrors the simulator's drain limit and guards
+        against ping-pong message loops.
+        """
+        return self.loop.run_until_complete(self._drain(max_events))
+
+    def run_until(self, time: float) -> int:
+        """Run the loop (messages *and* timers) until the clock reaches *time*."""
+        delay = time - self._clock.now
+        if delay > 0:
+            self.loop.run_until_complete(self._run_for(delay))
+        return 0
+
+    def close(self) -> None:
+        """Cancel reader tasks, close transports, close the loop."""
+        if self._closed:
+            return
+        self._closed = True
+        if not self.loop.is_closed():
+            self.loop.run_until_complete(self._close_channels())
+            self.loop.close()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _message_sent(self) -> None:
+        self._in_flight += 1
+
+    def _message_done(self) -> None:
+        self._in_flight -= 1
+        if self._idle_event is None:
+            return
+        self._drain_delivered += 1
+        if self._in_flight == 0 or (
+            self._drain_cap is not None and self._drain_delivered > self._drain_cap
+        ):
+            self._idle_event.set()
+
+    async def _start_channels(self) -> None:
+        for channel in self._channels:
+            await channel._start()
+
+    def _raise_reader_failure(self) -> None:
+        """Re-raise the first reader-task crash, so it never hides.
+
+        A reader task only ever completes by being cancelled or by an
+        exception escaping message processing; swallowing the latter
+        would leave ``settle`` either hanging (frames still in flight on
+        the dead channel) or silently dropping the error.
+        """
+        for channel in self._channels:
+            task = channel._read_task
+            if task is not None and task.done() and not task.cancelled():
+                error = task.exception()
+                if error is not None:
+                    raise error
+
+    async def _drain(self, max_events: int) -> int:
+        await self._start_channels()
+        self._drain_delivered = 0
+        self._drain_cap = max_events
+        try:
+            while self._in_flight > 0:
+                self._raise_reader_failure()
+                if self._drain_delivered > max_events:
+                    raise RuntimeError(
+                        "aio network did not quiesce within {} messages".format(max_events)
+                    )
+                # Sleep until quiescence (or the cap) — `_message_done`
+                # sets the event — but also wake if a reader task dies,
+                # so a crashed channel surfaces instead of deadlocking.
+                event = self._idle_event = asyncio.Event()
+                if self._in_flight == 0:
+                    break
+                waiter = asyncio.ensure_future(event.wait())
+                readers = [
+                    channel._read_task
+                    for channel in self._channels
+                    if channel._read_task is not None and not channel._read_task.done()
+                ]
+                try:
+                    await asyncio.wait([waiter, *readers], return_when=asyncio.FIRST_COMPLETED)
+                finally:
+                    if not waiter.done():
+                        waiter.cancel()
+            self._raise_reader_failure()
+        finally:
+            self._idle_event = None
+            self._drain_cap = None
+        return self._drain_delivered
+
+    async def _run_for(self, seconds: float) -> None:
+        await self._start_channels()
+        await asyncio.sleep(seconds)
+        self._raise_reader_failure()
+
+    async def _close_channels(self) -> None:
+        for channel in self._channels:
+            await channel._close()
+
+    def __enter__(self) -> "AioRuntime":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "AioRuntime(transport={}, channels={}, t={:.3f})".format(
+            self.transport, len(self._channels), self._clock.now
+        )

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
-from repro.sim.rng import DeterministicRandom
 from repro.topology.graph import BrokerGraph, TopologyError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.rng import DeterministicRandom
 
 
 def _broker_name(prefix: str, index: int) -> str:

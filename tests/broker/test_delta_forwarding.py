@@ -432,3 +432,92 @@ def test_roaming_chain_three_mode_equivalence(seed):
     scratch = _roaming_chain_churn("scratch", seed)
     assert _roaming_chain_churn("incremental", seed) == scratch
     assert _roaming_chain_churn("delta", seed) == scratch
+
+
+# ---------------------------------------------------------------------------
+# Selection-index pruning: `_first_cover` consults a CoveringIndex over the
+# current selection instead of scanning it, and must return exactly what
+# the unpruned scan would — first selected cover in selection order.
+# ---------------------------------------------------------------------------
+
+
+def _scan_first_cover(state, filter_):
+    """The unpruned reference: walk the whole selection in order."""
+    covers = state.covers
+    for _, selected_key in state.selection:
+        if covers(state.entries[selected_key].filter, filter_):
+            return selected_key
+    return None
+
+
+class TestSelectionIndexPruning:
+    def test_selection_index_tracks_selection_membership(self):
+        broker, _ = _make_broker(neighbours=("N1",))
+        table = broker.subscription_table
+        state = broker._delta_states["N1"]
+        narrow = _loc_filter("a")
+        broad = _loc_filter("a", "b")
+        table.add(narrow, "c1", "s1")
+        _assert_in_sync(broker)
+        assert sorted(state._selection_by_pos.values()) == [narrow.key()]
+        # The broader filter evicts the narrow one from selection *and*
+        # from the index.
+        table.add(broad, "c2", "s2")
+        _assert_in_sync(broker)
+        assert sorted(state._selection_by_pos.values()) == [broad.key()]
+        table.remove(broad, "c2", "s2")
+        _assert_in_sync(broker)
+        assert sorted(state._selection_by_pos.values()) == [narrow.key()]
+
+    @pytest.mark.parametrize("seed", [3, 19, 77])
+    def test_randomized_first_cover_equals_unpruned_scan(self, seed):
+        """Under churn that keeps the selection large (mostly disjoint
+        filters), the pruned `_first_cover` agrees with the full scan for
+        every live filter, and the maintained desired dict stays in sync
+        with the from-scratch reference."""
+        rng = random.Random(seed)
+        broker, _ = _make_broker(neighbours=("N1",))
+        table = broker.subscription_table
+        state = broker._delta_states["N1"]
+        locations = ["l{}".format(index) for index in range(8)]
+        services = ["svc{}".format(index) for index in range(12)]
+        live = []
+        pruned_at_least_once = False
+        for step in range(220):
+            roll = rng.random()
+            if live and roll < 0.4:
+                filter_, destination, subject = live.pop(rng.randrange(len(live)))
+                table.remove(filter_, destination, subject)
+            else:
+                # Mostly disjoint services keep the selection wide; the
+                # occasional location-only filter exercises the fallback
+                # attribute buckets of the index.
+                if roll > 0.9:
+                    span = rng.randint(1, 3)
+                    start = rng.randint(0, len(locations) - span)
+                    filter_ = Filter({"location": ("in", tuple(locations[start : start + span]))})
+                else:
+                    span = rng.randint(1, 3)
+                    start = rng.randint(0, len(locations) - span)
+                    filter_ = Filter(
+                        {
+                            "service": rng.choice(services),
+                            "location": ("in", tuple(locations[start : start + span])),
+                        }
+                    )
+                destination = rng.choice(["c1", "c2"])
+                subject = "s{}".format(rng.randint(0, 20))
+                table.add(filter_, destination, subject)
+                live.append((filter_, destination, subject))
+            _assert_in_sync(broker)
+            # The pruned walk and the unpruned scan agree on every live filter.
+            for filter_, _, _ in live:
+                assert state._first_cover(filter_) == _scan_first_cover(state, filter_)
+            if len(state.selection) >= 4:
+                probe = live[rng.randrange(len(live))][0]
+                candidates = state._selection_index.candidate_positions(probe)
+                if candidates is not None and len(candidates) < len(state.selection):
+                    pruned_at_least_once = True
+        # The workload must actually exercise the pruning, not just agree
+        # vacuously on tiny selections.
+        assert pruned_at_least_once

@@ -280,3 +280,51 @@ def test_counting_match_survives_removals(filters, removals, notification):
         f.key() for f in live if not isinstance(f, MatchNone) and f.matches(notification)
     }
     assert {f.key() for f in matcher.match(notification)} == expected
+
+
+class TestArity1FastPath:
+    """A satisfied predicate whose filter has arity 1 matches immediately —
+    no counter bump, no stamp — and the skip is accounted in the stats."""
+
+    def test_arity1_match_skips_counter_bumps(self):
+        from repro.dispatch.stats import dispatch_stats
+
+        wide = F(service="parking")                       # arity 1
+        narrow = F(service="parking", cost=("<", 3))      # arity 2
+        index, matcher = make_matcher(wide, narrow)
+        dispatch_stats.reset()
+        matched = matcher.match({"service": "parking", "cost": 1})
+        assert sorted(map(repr, matched)) == sorted(map(repr, [wide, narrow]))
+        # The wide filter's single predicate took the fast path; only the
+        # narrow filter's two predicates were counted.
+        assert dispatch_stats.arity1_fast_matches == 1
+        assert dispatch_stats.count_increments == 2
+
+    def test_arity1_filter_matches_at_most_once_per_pass(self):
+        wide = F(location=("in", ["a", "b", "c"]))        # one InSet predicate
+        index, matcher = make_matcher(wide)
+        matched = matcher.match({"location": "b"})
+        assert matched == [wide]
+
+    def test_fast_path_agrees_with_brute_force_on_mixed_arities(self):
+        rng = random.Random(11)
+        filters = []
+        for index_ in range(30):
+            constraints = {"service": rng.choice(["a", "b", "c"])}
+            if index_ % 3 == 0:
+                constraints["cost"] = ("<", rng.randint(1, 9))
+            if index_ % 5 == 0:
+                constraints["floor"] = rng.randint(0, 4)
+            filters.append(Filter(constraints))
+        index, matcher = make_matcher(*filters)
+        for _ in range(50):
+            attributes = {"service": rng.choice(["a", "b", "c", "d"])}
+            if rng.random() < 0.7:
+                attributes["cost"] = rng.randint(0, 9)
+            if rng.random() < 0.5:
+                attributes["floor"] = rng.randint(0, 5)
+            # The index refcounts structurally identical filters, so the
+            # brute-force expectation is deduplicated by filter key.
+            expected = {f.key(): f for f in filters if f.matches(attributes)}
+            got = matcher.match(attributes)
+            assert sorted(map(repr, got)) == sorted(map(repr, expected.values()))

@@ -1,0 +1,338 @@
+"""Wire-codec round-trip properties.
+
+The asyncio backend serialises every message crossing a channel, so the
+codec must be lossless for *every* message type in :mod:`repro.messages`
+(plus the logical-mobility messages defined next to their payload types
+in :mod:`repro.core.location_filter`) and for filters built from every
+constraint operator.  The property is exact::
+
+    from_wire(to_wire(m)) == m          # via the JSON wire payload
+    decode_message(encode_message(m)) == m   # via the byte form
+
+Message equality is structural over the wire payload (including the
+message id, which crosses the wire), so the round trip must preserve
+everything — attributes, filters down to their canonical constraint
+keys, nested sequenced notifications, movement graphs and uncertainty
+plans.
+"""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.adaptivity import UncertaintyPlan
+from repro.core.location_filter import (
+    LocationDependentFilter,
+    LocationDependentSubscribe,
+    LocationDependentUnsubscribe,
+)
+from repro.core.ploc import MovementGraph
+from repro.filters.constraints import (
+    AnyValue,
+    Between,
+    Equals,
+    Exists,
+    GreaterEqual,
+    GreaterThan,
+    InSet,
+    LessEqual,
+    LessThan,
+    NotEquals,
+    Prefix,
+)
+from repro.filters.filter import Filter, MatchAll, MatchNone
+from repro.filters.wire import filter_from_wire, filter_to_wire
+from repro.messages.admin import Advertise, Subscribe, Unadvertise, Unsubscribe
+from repro.messages.mobility import (
+    FetchRequest,
+    LocationUpdate,
+    MovedSubscribe,
+    RelocationComplete,
+    Replay,
+)
+from repro.messages.notification import Notification, SequencedNotification
+from repro.messages.wire import (
+    decode_message,
+    encode_frame,
+    encode_message,
+    message_type_registry,
+)
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+ATTRIBUTES = ["service", "location", "cost", "floor", "car-type"]
+
+scalar_values = st.one_of(
+    st.text(max_size=8),
+    st.integers(-1000, 1000),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.booleans(),
+)
+ordered_values = st.one_of(
+    st.text(max_size=8),
+    st.integers(-1000, 1000),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+)
+
+
+def _between(pair_and_bounds):
+    (left, right), low_inclusive, high_inclusive = pair_and_bounds
+    low, high = sorted((left, right))
+    return Between(low, high, low_inclusive, high_inclusive)
+
+
+#: One strategy per constraint operator — the codec must cover them all.
+constraints = st.one_of(
+    st.just(AnyValue()),
+    st.just(Exists()),
+    scalar_values.map(Equals),
+    scalar_values.map(NotEquals),
+    ordered_values.map(LessThan),
+    ordered_values.map(LessEqual),
+    ordered_values.map(GreaterThan),
+    ordered_values.map(GreaterEqual),
+    st.tuples(
+        st.one_of(
+            st.tuples(st.integers(-100, 100), st.integers(-100, 100)),
+            st.tuples(st.text(max_size=5), st.text(max_size=5)),
+        ),
+        st.booleans(),
+        st.booleans(),
+    ).map(_between),
+    st.lists(scalar_values, min_size=1, max_size=4).map(InSet),
+    st.text(max_size=6).map(Prefix),
+)
+
+plain_filters = st.dictionaries(
+    st.sampled_from(ATTRIBUTES), constraints, min_size=0, max_size=4
+).map(Filter)
+
+filters = st.one_of(plain_filters, st.just(MatchAll()), st.just(MatchNone()))
+
+attribute_maps = st.dictionaries(
+    st.sampled_from(ATTRIBUTES + ["symbol", "price"]),
+    scalar_values,
+    min_size=0,
+    max_size=4,
+)
+
+metas = st.one_of(
+    st.none(), st.dictionaries(st.text(min_size=1, max_size=5), st.integers(), max_size=2)
+)
+
+identifiers = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=8
+)
+
+notifications = st.builds(
+    Notification,
+    attributes=attribute_maps,
+    publisher=identifiers,
+    publisher_seq=st.integers(1, 10_000),
+    publish_time=st.floats(0, 1e6, allow_nan=False),
+    meta=metas,
+)
+
+sequenced_notifications = st.builds(
+    SequencedNotification,
+    notification=notifications,
+    client_id=identifiers,
+    subscription_id=identifiers,
+    sequence=st.integers(1, 10_000),
+)
+
+
+def _admin(message_type):
+    return st.builds(
+        message_type,
+        filter_=filters,
+        subject=identifiers,
+        subscription_id=st.one_of(st.none(), identifiers),
+        meta=metas,
+    )
+
+
+LOCATIONS = ["a", "b", "c", "d", "e"]
+
+
+@st.composite
+def movement_graphs(draw):
+    names = draw(st.lists(st.sampled_from(LOCATIONS), min_size=1, max_size=5, unique=True))
+    pairs = [(left, right) for i, left in enumerate(names) for right in names[i + 1 :]]
+    edges = draw(
+        st.lists(st.sampled_from(pairs), max_size=6, unique=True) if pairs else st.just([])
+    )
+    return MovementGraph.from_edges(edges, extra_locations=names)
+
+
+@st.composite
+def uncertainty_plans(draw):
+    increments = draw(st.lists(st.integers(0, 2), min_size=0, max_size=4))
+    levels = [0]
+    for increment in increments:
+        levels.append(levels[-1] + increment)
+    name = draw(st.sampled_from(["static", "adaptive", "trivial", "flooding"]))
+    return UncertaintyPlan(levels=levels, name=name)
+
+
+@st.composite
+def location_dependent_subscribes(draw):
+    graph = draw(movement_graphs())
+    template = draw(
+        st.dictionaries(
+            st.sampled_from(["service", "cost", "floor"]), constraints, max_size=3
+        )
+    )
+    location_filter = LocationDependentFilter(
+        template, location_attribute="location", vicinity=draw(st.integers(0, 3))
+    )
+    return LocationDependentSubscribe(
+        client_id=draw(identifiers),
+        subscription_id=draw(identifiers),
+        location_filter=location_filter,
+        movement_graph=graph,
+        plan=draw(uncertainty_plans()),
+        current_location=draw(st.sampled_from(graph.locations())),
+        hop_index=draw(st.integers(0, 5)),
+        meta=draw(metas),
+    )
+
+
+messages = st.one_of(
+    notifications,
+    sequenced_notifications,
+    _admin(Subscribe),
+    _admin(Unsubscribe),
+    _admin(Advertise),
+    _admin(Unadvertise),
+    st.builds(
+        MovedSubscribe,
+        client_id=identifiers,
+        subscription_id=identifiers,
+        filter_=filters,
+        last_sequence=st.integers(0, 10_000),
+        new_border=identifiers,
+        meta=metas,
+    ),
+    st.builds(
+        FetchRequest,
+        client_id=identifiers,
+        subscription_id=identifiers,
+        filter_=filters,
+        last_sequence=st.integers(0, 10_000),
+        junction=identifiers,
+        new_border=identifiers,
+        meta=metas,
+    ),
+    st.builds(
+        Replay,
+        client_id=identifiers,
+        subscription_id=identifiers,
+        notifications=st.lists(sequenced_notifications, max_size=3),
+        origin_border=identifiers,
+        meta=metas,
+    ),
+    st.builds(
+        RelocationComplete,
+        client_id=identifiers,
+        subscription_id=identifiers,
+        origin_border=identifiers,
+        meta=metas,
+    ),
+    st.builds(
+        LocationUpdate,
+        client_id=identifiers,
+        subscription_id=identifiers,
+        old_location=st.one_of(st.none(), st.sampled_from(LOCATIONS)),
+        new_location=st.sampled_from(LOCATIONS),
+        hop_index=st.integers(0, 5),
+        meta=metas,
+    ),
+    location_dependent_subscribes(),
+    st.builds(
+        LocationDependentUnsubscribe,
+        client_id=identifiers,
+        subscription_id=identifiers,
+        meta=metas,
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=300, deadline=None)
+@given(filter_=filters)
+def test_filter_wire_round_trip(filter_):
+    """Filters survive the wire bit-for-bit, through actual JSON."""
+    payload = json.loads(json.dumps(filter_to_wire(filter_)))
+    decoded = filter_from_wire(payload)
+    assert decoded == filter_
+    assert decoded.key() == filter_.key()
+
+
+@settings(max_examples=300, deadline=None)
+@given(message=messages)
+def test_message_wire_round_trip(message):
+    """``from_wire(to_wire(m)) == m`` for every message type."""
+    payload = json.loads(json.dumps(message.to_wire()))
+    decoded = type(message).from_wire(payload)
+    assert decoded == message
+    assert decoded.message_id == message.message_id
+    assert decoded.kind == message.kind
+
+
+@settings(max_examples=200, deadline=None)
+@given(message=messages)
+def test_message_byte_round_trip(message):
+    """The byte-level form (used by the framed streams) is lossless too."""
+    encoded = encode_message(message)
+    decoded = decode_message(encoded)
+    assert decoded == message
+    # Canonical form: re-encoding the decoded message yields identical bytes.
+    assert encode_message(decoded) == encoded
+    # A frame is the same payload behind a 4-byte big-endian length prefix.
+    frame = encode_frame(message)
+    assert frame[4:] == encoded
+    assert int.from_bytes(frame[:4], "big") == len(encoded)
+
+
+def test_registry_covers_every_concrete_message_type():
+    """Every transportable message type is registered for decoding."""
+    registry = message_type_registry()
+    expected = {
+        "Subscribe",
+        "Unsubscribe",
+        "Advertise",
+        "Unadvertise",
+        "Notification",
+        "SequencedNotification",
+        "MovedSubscribe",
+        "FetchRequest",
+        "Replay",
+        "RelocationComplete",
+        "LocationUpdate",
+        "LocationDependentSubscribe",
+        "LocationDependentUnsubscribe",
+    }
+    assert expected == set(registry)
+    for name, message_type in registry.items():
+        assert message_type.__name__ == name
+
+
+def test_equality_stays_total_without_a_codec():
+    """A codec-less Message subclass (e.g. a test stub) must still support
+    ``==`` — identity semantics, never NotImplementedError."""
+    from repro.messages.base import Message
+
+    class Probe(Message):
+        __slots__ = ()
+
+    left, right = Probe(), Probe()
+    assert left == left
+    assert left != right
+    assert (left == right) is False

@@ -1,0 +1,112 @@
+"""AioRuntime behaviour tests (beyond backend parity).
+
+Covers the failure paths the parity scenarios never hit: broker crashes
+inside message processing must surface from ``settle`` (not hang the
+quiescence loop or vanish with the reader task), runaway message loops
+must trip the delivery cap, and conflicting construction parameters must
+be rejected loudly.
+"""
+
+import pytest
+
+from repro.broker.network import PubSubNetwork
+from repro.runtime.aio import AioRuntime
+from repro.topology.builders import line_topology
+
+
+def _exploding_network(error):
+    network = PubSubNetwork(line_topology(2), runtime=AioRuntime())
+    broker = network.broker("B2")
+
+    def boom(message, from_destination=None):
+        raise error
+
+    broker._dispatch = boom
+    return network
+
+
+class TestReaderFailurePropagation:
+    def test_processing_crash_surfaces_from_settle(self):
+        """One frame in flight: the error must not be swallowed."""
+        network = _exploding_network(KeyError("broker exploded"))
+        try:
+            producer = network.add_client("p", "B1")
+            producer.advertise({"t": 1})
+            with pytest.raises(KeyError):
+                network.settle()
+        finally:
+            network.close()
+
+    def test_processing_crash_with_backlog_does_not_hang(self):
+        """Frames still queued on the dead channel: raise, don't spin."""
+        network = _exploding_network(RuntimeError("dead channel"))
+        try:
+            producer = network.add_client("p", "B1")
+            producer.advertise({"t": 1})
+            producer.advertise({"t": 2})
+            with pytest.raises(RuntimeError):
+                network.settle()
+        finally:
+            network.close()
+
+
+def test_settle_caps_runaway_message_loops():
+    """Two brokers ping-ponging a notification forever must trip the cap."""
+    network = PubSubNetwork(line_topology(2), runtime=AioRuntime())
+    try:
+        left = network.broker("B1")
+        right = network.broker("B2")
+
+        def bounce_right(message, channel):
+            right.link_to("B1").send(message)
+
+        def bounce_left(message, channel):
+            left.link_to("B2").send(message)
+
+        # Rewire the delivery callbacks into an infinite relay.
+        network.links[("B1", "B2")]._deliver = bounce_right
+        network.links[("B2", "B1")]._deliver = bounce_left
+        from repro.messages.notification import Notification
+
+        network.links[("B1", "B2")].send(Notification({"x": 1}, "p", 1))
+        with pytest.raises(RuntimeError, match="did not quiesce"):
+            network.settle(max_events=500)
+    finally:
+        network.close()
+
+
+def test_sim_parameters_conflict_with_explicit_runtime():
+    """latency/simulator/trace/batch_links configure the *default* runtime
+    only; passing them alongside an explicit runtime is rejected."""
+    runtime = AioRuntime()
+    try:
+        with pytest.raises(ValueError, match="latency"):
+            PubSubNetwork(line_topology(2), latency=0.2, runtime=runtime)
+        with pytest.raises(ValueError, match="batch_links"):
+            PubSubNetwork(line_topology(2), batch_links=False, runtime=runtime)
+    finally:
+        runtime.close()
+
+
+def test_clock_schedules_and_cancels():
+    """The aio clock satisfies the Clock protocol: timers fire in
+    run_until, cancelled handles do not."""
+    network = PubSubNetwork(line_topology(2), runtime=AioRuntime())
+    try:
+        fired = []
+        network.clock.schedule(0.01, fired.append, "a")
+        cancelled = network.clock.schedule(0.01, fired.append, "b")
+        cancelled.cancel()
+        network.run_until(network.clock.now + 0.05)
+        assert fired == ["a"]
+    finally:
+        network.close()
+
+
+def test_close_is_idempotent():
+    runtime = AioRuntime()
+    network = PubSubNetwork(line_topology(2), runtime=runtime)
+    network.settle()
+    network.close()
+    network.close()
+    runtime.close()

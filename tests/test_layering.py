@@ -1,0 +1,99 @@
+"""Architectural layering rules (the import linter).
+
+The core/runtime split (see ``docs/architecture.md``) makes the broker
+core transport-agnostic: ``repro.broker``, ``repro.routing`` and
+``repro.dispatch`` may depend on the runtime protocols
+(:mod:`repro.runtime`) but never on the simulator backend
+(``repro.sim``).  Three independent checks enforce this:
+
+* an AST walk over every source file in the three packages, rejecting
+  any ``import``/``from ... import`` of the simulator package;
+* a plain-text scan mirroring the repository's acceptance criterion
+  (``grep -r "repro.sim" src/repro/broker src/repro/routing
+  src/repro/dispatch`` must be empty — comments and docstrings count);
+* a subprocess import: loading the three packages must not pull any
+  simulator module into ``sys.modules`` (the default ``SimRuntime`` is
+  imported lazily, only when a caller asks for it).
+"""
+
+import ast
+import os
+import subprocess
+import sys
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+#: Packages forming the transport-agnostic core.
+CORE_PACKAGES = ("broker", "routing", "dispatch")
+
+#: The module prefix the core must never import.
+FORBIDDEN_PREFIX = "repro.sim"
+
+
+def _core_source_files():
+    for package in CORE_PACKAGES:
+        root = os.path.join(SRC, "repro", package)
+        assert os.path.isdir(root), root
+        for dirpath, _, filenames in os.walk(root):
+            if "__pycache__" in dirpath:
+                continue
+            for filename in filenames:
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+def _forbidden(module_name):
+    return module_name == FORBIDDEN_PREFIX or module_name.startswith(
+        FORBIDDEN_PREFIX + "."
+    )
+
+
+def test_core_packages_never_import_the_simulator():
+    """AST check: no import statement targets the simulator package."""
+    offenders = []
+    for path in _core_source_files():
+        with open(path) as handle:
+            tree = ast.parse(handle.read(), filename=path)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if _forbidden(alias.name):
+                        offenders.append("{}:{} imports {}".format(path, node.lineno, alias.name))
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if node.level == 0 and _forbidden(module):
+                    offenders.append("{}:{} imports from {}".format(path, node.lineno, module))
+    assert not offenders, "core imports the simulator backend:\n" + "\n".join(offenders)
+
+
+def test_core_sources_do_not_mention_the_simulator_package():
+    """Text check: the acceptance grep over the core packages is empty."""
+    needle = "repro" + ".sim"  # avoid tripping this very file's own check
+    offenders = []
+    for path in _core_source_files():
+        with open(path) as handle:
+            for lineno, line in enumerate(handle, 1):
+                if needle in line:
+                    offenders.append("{}:{}: {}".format(path, lineno, line.strip()))
+    assert not offenders, "core sources mention the simulator package:\n" + "\n".join(offenders)
+
+
+def test_importing_the_core_does_not_load_the_simulator():
+    """Runtime check: the core's import graph is simulator-free."""
+    program = (
+        "import sys\n"
+        "import repro.broker, repro.routing, repro.dispatch\n"
+        "import repro.broker.base, repro.broker.network, repro.broker.client\n"
+        "import repro.broker.forwarding\n"
+        "loaded = sorted(m for m in sys.modules if m.startswith('repro.' + 'sim'))\n"
+        "sys.exit('simulator modules loaded: {}'.format(loaded) if loaded else 0)\n"
+    )
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = SRC + os.pathsep + environment.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [sys.executable, "-c", program],
+        capture_output=True,
+        text=True,
+        env=environment,
+    )
+    assert result.returncode == 0, result.stderr or result.stdout
