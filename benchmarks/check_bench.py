@@ -57,6 +57,11 @@ COUNTER_FIELDS = (
     "settle_events",
     "cache_misses",
     "constraint_evals",
+    # Recovery hygiene: replay volume and delivery slop must not creep up.
+    "recovery_log_replayed",
+    "recovery_store_bytes",
+    "deliveries_lost",
+    "duplicates_suppressed",
 )
 #: extra_info fields where a *decrease* is a lost speedup.
 RATIO_FIELDS = (
@@ -68,7 +73,7 @@ RATIO_FIELDS = (
     "constraint_eval_ratio",
 )
 #: extra_info fields describing the workload; any change requires regeneration.
-WORKLOAD_FIELDS = ("subscriptions", "roam_changes", "publishes", "delivered")
+WORKLOAD_FIELDS = ("subscriptions", "roam_changes", "publishes", "delivered", "routing_rows")
 #: Wall-clock fields (``settle_seconds*``, ``mean_s`` ...) are never gated.
 
 

@@ -42,8 +42,15 @@ from repro.core.physical import RelocationBuffer, RelocationRecord, VirtualCount
 from repro.filters.covering import filter_covers, filters_overlap_hint
 from repro.filters.covering_cache import CoveringCache, get_covering_cache
 from repro.filters.filter import Filter, MatchNone
+from repro.broker.recovery import (
+    RecoveryStore,
+    ReplaySink,
+    RoutingSnapshot,
+    apply_snapshot,
+    build_snapshot,
+)
 from repro.messages.admin import Advertise, Subscribe, Unadvertise, Unsubscribe
-from repro.messages.base import Message
+from repro.messages.base import Message, MessageKind
 from repro.messages.mobility import (
     FetchRequest,
     LocationUpdate,
@@ -227,7 +234,58 @@ class Broker:
         # Channel management: neighbour broker name -> outgoing channel.
         self._links: Dict[str, Channel] = {}
 
-        # Routing state.
+        # Crash recovery: ``recovery`` holds the (optional) persistent
+        # store, ``_crashed`` gates message intake while down, and
+        # ``_replaying`` suppresses journaling while the log tail is
+        # re-executed through the normal dispatch path on restart.
+        self.recovery: Optional[RecoveryStore] = None
+        self._crashed = False
+        self._replaying = False
+        self.crashed_at: Optional[float] = None
+        self.restarted_at: Optional[float] = None
+
+        self._init_routing_state()
+
+        # Border-broker state.
+        self._clients: Dict[str, _ClientRegistration] = {}
+        self._counterparts: Dict[str, VirtualCounterpart] = {}
+
+        # Logical mobility: token -> per-broker subscription state, and the
+        # neighbours the location-dependent subscription was forwarded to.
+        self._logical_states: Dict[str, LogicalSubscriptionState] = {}
+        self._logical_forwarded_to: Dict[str, Set[str]] = {}
+
+        # Relocation bookkeeping (benchmarks read this).
+        self.relocation_records: List[RelocationRecord] = []
+
+        # Counters used by tests and diagnostics.
+        self.counters: Dict[str, int] = {
+            "notifications_received": 0,
+            "notifications_forwarded": 0,
+            "notifications_delivered": 0,
+            "notifications_buffered_counterpart": 0,
+            "notifications_buffered_relocation": 0,
+            "admin_received": 0,
+            "mobility_received": 0,
+            "fetch_requests_sent": 0,
+            "replays_sent": 0,
+            "advert_gate_hits": 0,
+            "advert_gate_misses": 0,
+            "messages_dropped_down": 0,
+            "recovery_log_replayed": 0,
+        }
+
+    def _init_routing_state(self) -> None:
+        """(Re)create every piece of volatile routing state.
+
+        Called once from ``__init__`` and again by :meth:`crash`: the
+        routing tables, forwarded bookkeeping and all derived caches are
+        exactly what a process crash destroys, so resetting them *is* the
+        crash.  Existing links survive (they model the network's wiring,
+        re-established on restart) and get fresh empty per-neighbour
+        state.
+        """
+        strategy = self.strategy
         self.subscription_table = RoutingTable()
         self.advertisement_table = RoutingTable()
         # neighbour -> {(filter key, subject): Filter} already forwarded there
@@ -286,33 +344,16 @@ class Broker:
             if self.config.indexed_dispatch
             else None
         )
-
-        # Border-broker state.
-        self._clients: Dict[str, _ClientRegistration] = {}
-        self._counterparts: Dict[str, VirtualCounterpart] = {}
-
-        # Logical mobility: token -> per-broker subscription state, and the
-        # neighbours the location-dependent subscription was forwarded to.
-        self._logical_states: Dict[str, LogicalSubscriptionState] = {}
-        self._logical_forwarded_to: Dict[str, Set[str]] = {}
-
-        # Relocation bookkeeping (benchmarks read this).
-        self.relocation_records: List[RelocationRecord] = []
-
-        # Counters used by tests and diagnostics.
-        self.counters: Dict[str, int] = {
-            "notifications_received": 0,
-            "notifications_forwarded": 0,
-            "notifications_delivered": 0,
-            "notifications_buffered_counterpart": 0,
-            "notifications_buffered_relocation": 0,
-            "admin_received": 0,
-            "mobility_received": 0,
-            "fetch_requests_sent": 0,
-            "replays_sent": 0,
-            "advert_gate_hits": 0,
-            "advert_gate_misses": 0,
-        }
+        # Fresh empty per-neighbour state for links that already exist
+        # (no-op on first init, where no link is registered yet).
+        for neighbour in self._links:
+            self._forwarded_subscriptions[neighbour] = {}
+            self._forwarded_advertisements[neighbour] = {}
+            self._forwarding_dirty[neighbour] = True
+            if self._delta_mode:
+                self._delta_states[neighbour] = NeighbourForwardingState(
+                    self._delta_covers, merging=self._delta_merging
+                )
 
     # ------------------------------------------------------------------
     # Wiring
@@ -349,7 +390,37 @@ class Broker:
     # ------------------------------------------------------------------
     def receive(self, message: Message, link: Channel) -> None:
         """Handle a message arriving over a broker-to-broker link."""
+        if self._crashed:
+            # A crashed process reads nothing off the wire; the message
+            # is lost (and attributed) exactly like a link-level drop.
+            self.counters["messages_dropped_down"] += 1
+            if self.trace is not None:
+                self.trace.record_drop(
+                    self.clock.now, link.source, self.name, message, "broker-down"
+                )
+            return
+        self._journal(link.source, message)
         self._dispatch(message, from_destination=link.source)
+
+    def _journal(self, origin: str, message: Message) -> None:
+        """Append an admin/mobility message to the recovery log.
+
+        Notifications are never journaled: the routing state is a
+        function of administrative traffic only, and durable redelivery
+        is the counterpart/sequence machinery's job, not the log's.
+        Replayed entries are not re-journaled.
+        """
+        if self.recovery is None or self._replaying:
+            return
+        if message.kind is MessageKind.NOTIFICATION:
+            return
+        if isinstance(message, FetchRequest):
+            # A FetchRequest's table effect depends on volatile state (is
+            # there a counterpart here?) that a replay cannot reconstruct;
+            # _handle_fetch_request journals the equivalent Subscribe /
+            # Unsubscribe operations for the branch it actually took.
+            return
+        self.recovery.append(origin, message, self.clock.now)
 
     def _dispatch(self, message: Message, from_destination: Optional[str]) -> None:
         if isinstance(message, Notification):
@@ -390,6 +461,105 @@ class Broker:
             self._handle_location_update(message, from_destination)
         else:
             raise TypeError("broker {} cannot handle message {!r}".format(self.name, message))
+
+    # ------------------------------------------------------------------
+    # Crash / restart lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def is_crashed(self) -> bool:
+        """Whether the broker is currently down (between crash and restart)."""
+        return self._crashed
+
+    def enable_recovery(self) -> RecoveryStore:
+        """Attach a recovery store; admin traffic is journaled from now on.
+
+        Enable recovery *before* routing state is built up (or take a
+        snapshot right after enabling) — the log only captures traffic
+        processed while the store is attached.
+        """
+        if self.recovery is None:
+            self.recovery = RecoveryStore(self.name)
+        return self.recovery
+
+    def take_snapshot(self) -> RoutingSnapshot:
+        """Checkpoint the routing state into the recovery store.
+
+        The snapshot covers the log written so far, so the store drops
+        that prefix; a subsequent restart decodes the snapshot and
+        replays only the tail.
+        """
+        if self.recovery is None:
+            raise ValueError("broker {} has no recovery store".format(self.name))
+        snapshot = build_snapshot(self, log_index=self.recovery.log_index)
+        self.recovery.install_snapshot(snapshot)
+        return snapshot
+
+    def crash(self) -> None:
+        """Simulate a process crash: all volatile state is lost.
+
+        The broker object survives — its name and links are the
+        network's wiring, re-established on restart — but routing
+        tables, forwarding bookkeeping, derived caches, client
+        registrations, virtual counterparts, relocation buffers and
+        logical-mobility state are gone.  Messages arriving while down
+        are dropped (recorded with reason ``"broker-down"``).  The
+        recovery store, modelling stable storage, survives.
+        """
+        if self._crashed:
+            raise ValueError("broker {} is already down".format(self.name))
+        self._crashed = True
+        self.crashed_at = self.clock.now
+        self._init_routing_state()
+        self._clients.clear()
+        self._counterparts.clear()
+        self._logical_states.clear()
+        self._logical_forwarded_to.clear()
+
+    def restart(self) -> int:
+        """Bring a crashed broker back, recovering routing state.
+
+        Applies the stored snapshot (rows recreated with their pinned
+        creation sequence numbers), then replays the log tail through
+        the normal dispatch path with every outgoing link swapped for a
+        :class:`~repro.broker.recovery.ReplaySink` — the replay must
+        evolve local state exactly as the first execution did without
+        re-sending anything.  Derived structures are invalidated and
+        rebuilt lazily from the recovered tables.  Returns the number of
+        log records replayed.
+        """
+        if not self._crashed:
+            raise ValueError("broker {} is not down".format(self.name))
+        self._crashed = False
+        self.restarted_at = self.clock.now
+        replayed = 0
+        if self.recovery is not None:
+            snapshot = self.recovery.snapshot()
+            if snapshot is not None:
+                apply_snapshot(self, snapshot)
+            tail = self.recovery.log_tail()
+            real_links = self._links
+            self._links = {
+                neighbour: ReplaySink(self.name, neighbour) for neighbour in real_links
+            }
+            self._replaying = True
+            try:
+                for record in tail:
+                    self._dispatch(record.entry, from_destination=record.origin)
+            finally:
+                self._links = real_links
+                self._replaying = False
+            replayed = len(tail)
+            self.counters["recovery_log_replayed"] += replayed
+        self._mark_all_forwarding_dirty()
+        return replayed
+
+    def attached_clients(self) -> List[Any]:
+        """The currently attached client objects (crash orchestration)."""
+        return [
+            registration.client
+            for registration in self._clients.values()
+            if registration.attached
+        ]
 
     # ------------------------------------------------------------------
     # Client-facing API (the border-broker side of the client library)
@@ -447,6 +617,7 @@ class Broker:
         )
         registration.subscriptions[subscription_id] = record
         token = record.token
+        self._journal(client_id, Subscribe(filter_, subject=token))
         self.subscription_table.add(filter_, client_id, token)
         self._refresh_all_forwarding(exclude=client_id)
 
@@ -458,7 +629,15 @@ class Broker:
             return
         token = record.token
         if record.logical is not None:
+            self._journal(
+                client_id,
+                LocationDependentUnsubscribe(
+                    client_id=client_id, subscription_id=subscription_id
+                ),
+            )
             self._teardown_logical_subscription(token)
+        else:
+            self._journal(client_id, Unsubscribe(record.filter, subject=token))
         self.subscription_table.remove(record.filter, client_id, token)
         self._refresh_all_forwarding(exclude=client_id)
 
@@ -467,6 +646,7 @@ class Broker:
         registration = self._require_client(client_id)
         registration.advertisements[advertisement_id] = filter_
         subject = subscription_token(client_id, advertisement_id)
+        self._journal(client_id, Advertise(filter_, subject=subject))
         self.advertisement_table.add(filter_, client_id, subject)
         self._propagate_advertisement(filter_, subject, exclude=client_id)
         # A new local advertisement can make remote subscriptions routable
@@ -479,6 +659,7 @@ class Broker:
         if filter_ is None:
             return
         subject = subscription_token(client_id, advertisement_id)
+        self._journal(client_id, Unadvertise(filter_, subject=subject))
         self.advertisement_table.remove(filter_, client_id, subject)
         self._withdraw_advertisement(filter_, subject, exclude=client_id)
 
@@ -525,6 +706,12 @@ class Broker:
         # Degenerate case: the client re-attached at its old border broker.
         local_counterpart = self._counterparts.pop(token, None)
         if local_counterpart is not None:
+            # Only the table row survives a crash of this branch (the
+            # counterpart is volatile), so the log records a plain
+            # Subscribe: replaying a MovedSubscribe against a recovered
+            # table without the counterpart would forward it upstream,
+            # which the original execution never did.
+            self._journal(client_id, Subscribe(filter_, subject=token))
             started.old_border = self.name
             replayed = local_counterpart.replay_after(last_sequence)
             self.subscription_table.add(filter_, client_id, token)
@@ -540,6 +727,16 @@ class Broker:
         # Normal case: buffer new-path notifications until the replay
         # arrives, register the subscription locally, and look for the
         # junction starting at this broker.
+        self._journal(
+            client_id,
+            MovedSubscribe(
+                client_id=client_id,
+                subscription_id=subscription_id,
+                filter_=filter_,
+                last_sequence=last_sequence,
+                new_border=self.name,
+            ),
+        )
         record.relocation_buffer = RelocationBuffer(client_id, subscription_id, last_sequence)
         old_destinations = self._token_destinations(token, exclude={client_id})
         self.subscription_table.add(filter_, client_id, token)
@@ -565,6 +762,56 @@ class Broker:
                 # so the client does not wait forever.
                 record.relocation_buffer = None
                 started.completed_at = self.clock.now
+        self._refresh_all_forwarding(exclude=client_id)
+
+    def takeover_subscribe(
+        self,
+        client_id: str,
+        subscription_id: str,
+        filter_: Filter,
+        last_sequence: int,
+        dead_border: str,
+    ) -> None:
+        """Adopt a durable subscription whose border broker crashed.
+
+        Neighbour takeover reuses the relocation bookkeeping but not the
+        fetch/replay handshake: the old border is known to be *dead*, so
+        there is no counterpart to fetch from — whatever it had buffered
+        died with it (the durable guarantee is preserved because takeover
+        happens while the delivery path through this broker is intact, so
+        matching notifications keep flowing here rather than into the
+        crashed broker).  Routing entries pointing at the dead broker are
+        dropped, the client's row is added, and the relocation completes
+        immediately with zero replay.
+        """
+        registration = self._require_client(client_id)
+        token = subscription_token(client_id, subscription_id)
+        record = _SubscriptionRecord(
+            client_id=client_id,
+            subscription_id=subscription_id,
+            filter=filter_,
+            next_sequence=last_sequence + 1,
+        )
+        registration.subscriptions[subscription_id] = record
+        for entry in list(self.subscription_table.entries_for_subject(token)):
+            if entry.destination != dead_border:
+                continue
+            self._journal(dead_border, Unsubscribe(entry.filter, subject=token))
+            self.subscription_table.remove(entry.filter, dead_border, token)
+        self._journal(client_id, Subscribe(filter_, subject=token))
+        self.subscription_table.add(filter_, client_id, token)
+        now = self.clock.now
+        self.relocation_records.append(
+            RelocationRecord(
+                client_id=client_id,
+                subscription_id=subscription_id,
+                old_border=dead_border,
+                new_border=self.name,
+                started_at=now,
+                completed_at=now,
+                replayed=0,
+            )
+        )
         self._refresh_all_forwarding(exclude=client_id)
 
     def client_location_dependent_subscribe(
@@ -595,6 +842,18 @@ class Broker:
         )
         registration.subscriptions[subscription_id] = record
         token = record.token
+        self._journal(
+            client_id,
+            LocationDependentSubscribe(
+                client_id=client_id,
+                subscription_id=subscription_id,
+                location_filter=location_filter,
+                movement_graph=movement_graph,
+                plan=plan,
+                current_location=initial_location,
+                hop_index=0,
+            ),
+        )
         self._logical_states[token] = state
         self._logical_forwarded_to[token] = set()
         # Logical tokens are excluded from the generic refresh, so the set
@@ -618,6 +877,16 @@ class Broker:
         for record in registration.subscriptions.values():
             if record.logical is None:
                 continue
+            self._journal(
+                client_id,
+                LocationUpdate(
+                    client_id=client_id,
+                    subscription_id=record.subscription_id,
+                    old_location=record.logical.current_location,
+                    new_location=new_location,
+                    hop_index=record.logical.hop_index,
+                ),
+            )
             self._apply_location_change(record.token, new_location, from_destination=client_id)
 
     def client_last_delivered_sequence(self, client_id: str, subscription_id: str) -> int:
@@ -866,6 +1135,10 @@ class Broker:
 
     def refresh_forwarding(self, neighbour: str) -> None:
         """Bring the subscriptions forwarded to *neighbour* in line with the tables."""
+        if neighbour not in self._links:
+            # Not a neighbour (e.g. a locally attached client named as the
+            # source of a replayed log entry): nothing is forwarded there.
+            return
         incremental = self.config.incremental_forwarding
         if incremental and not self._forwarding_dirty.get(neighbour, True):
             # Nothing relevant to this neighbour changed since the last
@@ -1201,7 +1474,9 @@ class Broker:
             # so that the replay (and any straggler notifications) flow back
             # toward the junction and on to the new location.
             for entry in list(self.subscription_table.entries_for_subject(token)):
+                self._journal(entry.destination, Unsubscribe(entry.filter, subject=token))
                 self.subscription_table.remove(entry.filter, entry.destination, token)
+            self._journal(from_destination, Subscribe(message.filter, subject=token))
             self.subscription_table.add(message.filter, from_destination, token)
             self._replay_counterpart(token, message.last_sequence, toward=from_destination)
             self._refresh_all_forwarding(exclude=from_destination)
@@ -1218,11 +1493,43 @@ class Broker:
             # Nothing known about this subscription (already cleaned up, or
             # a duplicate fetch from a second junction): drop the request.
             return
-        for entry in old_entries:
+        link_bound = [entry for entry in old_entries if entry.destination in self._links]
+        if not link_bound:
+            # The remaining entries point at locally attached clients, not
+            # along an old path — this happens when the old border crashed
+            # and the subscription was adopted here by takeover.  There is
+            # no counterpart anywhere (it died with the old border), so
+            # terminate the protocol: answer with an empty replay so the
+            # requester's relocation buffer flushes instead of waiting
+            # forever.  The local client rows are left untouched.
+            self._journal(from_destination, Subscribe(message.filter, subject=token))
+            self.subscription_table.add(message.filter, from_destination, token)
+            self.counters["replays_sent"] += 1
+            link = self._links.get(from_destination)
+            if link is not None:
+                link.send(
+                    Replay(
+                        client_id=message.client_id,
+                        subscription_id=message.subscription_id,
+                        notifications=[],
+                        origin_border=self.name,
+                    )
+                )
+                link.send(
+                    RelocationComplete(
+                        client_id=message.client_id,
+                        subscription_id=message.subscription_id,
+                        origin_border=self.name,
+                    )
+                )
+            self._refresh_all_forwarding(exclude=from_destination)
+            return
+        for entry in link_bound:
             destination = entry.destination
+            self._journal(destination, Unsubscribe(entry.filter, subject=token))
             self.subscription_table.remove(entry.filter, destination, token)
-            if destination in self._links:
-                self._links[destination].send(message)
+            self._links[destination].send(message)
+        self._journal(from_destination, Subscribe(message.filter, subject=token))
         self.subscription_table.add(message.filter, from_destination, token)
         self._refresh_all_forwarding(exclude=from_destination)
 

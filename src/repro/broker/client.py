@@ -69,6 +69,18 @@ class Client:
         # Subscriptions that have been registered with some border broker at
         # least once; only those need the relocation protocol on move_to.
         self._registered_once: set = set()
+        # Durable subscriptions: at-least-once delivery with client-side
+        # duplicate suppression (see ``deliver``); plain subscriptions
+        # keep the at-most-once pass-through behaviour.
+        self._durable: set = set()
+
+        # Delivery-quality counters, read by metrics/counters.py:
+        # duplicates suppressed and sequence gaps observed on durable
+        # subscriptions.
+        self.counters: Dict[str, int] = {
+            "duplicates_suppressed": 0,
+            "gaps_detected": 0,
+        }
 
         # Publishing state.
         self._publish_seq = 0
@@ -176,19 +188,89 @@ class Client:
             )
             self._registered_once.add(subscription_id)
 
+    def drop_connection(self) -> None:
+        """Sever the link to a crashed border broker (no detach handshake).
+
+        Unlike :meth:`detach` this performs no broker-side call — the
+        broker is gone, so no virtual counterpart exists.  The client
+        keeps its subscription bookkeeping and last sequence numbers;
+        use :meth:`move_to` (after the broker restarts) or
+        :meth:`failover_to` (neighbour takeover) to reconnect.
+        """
+        self._broker = None
+
+    def failover_to(self, broker: Any, dead_border: str) -> None:
+        """Emergency re-attach after the border broker *dead_border* crashed.
+
+        Durable subscriptions are adopted by the takeover broker via
+        :meth:`~repro.broker.base.Broker.takeover_subscribe` (the dead
+        broker's routing entries are dropped, no fetch is attempted —
+        nothing is left to fetch from).  Plain subscriptions are
+        re-issued as fresh subscriptions: at-most-once semantics permit
+        the loss of whatever was in flight.
+        """
+        if self._broker is not None:
+            raise ClientError(
+                "client {} must drop its connection before failing over".format(
+                    self.client_id
+                )
+            )
+        self._broker = broker
+        broker.attach_client(self)
+        for advertisement_id, filter_ in self._advertisements.items():
+            broker.client_advertise(self.client_id, advertisement_id, filter_)
+        for subscription_id, filter_ in self._subscriptions.items():
+            if subscription_id in self._durable and subscription_id in self._registered_once:
+                broker.takeover_subscribe(
+                    self.client_id,
+                    subscription_id,
+                    filter_,
+                    self._last_sequence.get(subscription_id, 0),
+                    dead_border,
+                )
+            else:
+                broker.client_subscribe(self.client_id, subscription_id, filter_)
+                self._registered_once.add(subscription_id)
+        for subscription_id, spec in self._logical_subscriptions.items():
+            broker.client_location_dependent_subscribe(
+                self.client_id,
+                subscription_id,
+                spec["filter"],
+                spec["graph"],
+                spec["plan"],
+                spec["location"],
+            )
+            self._registered_once.add(subscription_id)
+
     # ------------------------------------------------------------------
     # The four pub/sub primitives
     # ------------------------------------------------------------------
-    def subscribe(self, filter_: Any, subscription_id: Optional[str] = None) -> str:
+    def subscribe(
+        self,
+        filter_: Any,
+        subscription_id: Optional[str] = None,
+        durable: bool = False,
+    ) -> str:
         """``sub``: register interest in notifications matching *filter_*.
 
         *filter_* may be a :class:`~repro.filters.filter.Filter` or a plain
         template mapping.  Returns the subscription identifier.
+
+        With ``durable=True`` the subscription gets at-least-once
+        semantics across broker crashes: on reconnect it is re-issued
+        with the last received sequence number, redelivered duplicates
+        are suppressed client-side (counted in ``counters``), and
+        sequence gaps are detected.  Plain subscriptions stay
+        at-most-once: whatever arrives is delivered verbatim, including
+        the duplicate/miss anomalies the naive-roaming baseline
+        deliberately exhibits.
         """
         resolved = filter_ if isinstance(filter_, Filter) else Filter(filter_)
         subscription_id = subscription_id or self._next_id("sub")
         self._subscriptions[subscription_id] = resolved
         self._last_sequence.setdefault(subscription_id, 0)
+        if durable:
+            self._durable.add(subscription_id)
         if self._broker is not None:
             self._broker.client_subscribe(self.client_id, subscription_id, resolved)
             self._registered_once.add(subscription_id)
@@ -199,6 +281,7 @@ class Client:
         self._subscriptions.pop(subscription_id, None)
         self._logical_subscriptions.pop(subscription_id, None)
         self._last_sequence.pop(subscription_id, None)
+        self._durable.discard(subscription_id)
         if self._broker is not None:
             self._broker.client_unsubscribe(self.client_id, subscription_id)
 
@@ -216,8 +299,28 @@ class Client:
         self._broker.client_publish(self.client_id, notification)
         return notification
 
+    def is_durable(self, subscription_id: str) -> bool:
+        """Whether *subscription_id* was registered with ``durable=True``."""
+        return subscription_id in self._durable
+
     def deliver(self, subscription_id: str, notification: Notification, sequence: int) -> None:
-        """``notify``: called by the border broker to deliver a notification."""
+        """``notify``: called by the border broker to deliver a notification.
+
+        For durable subscriptions the client enforces the at-least-once
+        contract's client-facing half: a sequence number at or below the
+        last delivered one is a redelivery and is suppressed (the
+        application sees each notification once), and a jump past
+        ``last + 1`` is counted as a detected gap (the notification is
+        still delivered — gaps are a diagnostic, not a reason to drop
+        data).  Plain subscriptions pass everything through verbatim.
+        """
+        if subscription_id in self._durable:
+            previous = self._last_sequence.get(subscription_id, 0)
+            if sequence <= previous:
+                self.counters["duplicates_suppressed"] += 1
+                return
+            if sequence > previous + 1:
+                self.counters["gaps_detected"] += 1
         time = self._broker.clock.now if self._broker is not None else 0.0
         self.received.append(
             ReceivedNotification(

@@ -157,6 +157,56 @@ class PubSubNetwork:
         return client
 
     # ------------------------------------------------------------------
+    # Failures and recovery
+    # ------------------------------------------------------------------
+    def enable_recovery(self, *broker_names: str) -> None:
+        """Switch on crash recovery (admin journal + snapshots).
+
+        With no arguments every broker gets a
+        :class:`~repro.broker.recovery.RecoveryStore`; otherwise only the
+        named ones do.  Must be called before the admin traffic that
+        should survive a crash — the journal only records what it sees.
+        """
+        names = broker_names or tuple(self.brokers)
+        for name in names:
+            self.brokers[name].enable_recovery()
+
+    def snapshot_broker(self, name: str) -> int:
+        """Checkpoint *name*'s routing state, truncating its journal."""
+        return self.brokers[name].take_snapshot()
+
+    def crash_broker(self, name: str, takeover: Optional[str] = None) -> int:
+        """Crash broker *name*, failing its clients over to *takeover*.
+
+        The broker's volatile routing state is wiped (its
+        :class:`~repro.broker.recovery.RecoveryStore`, standing in for
+        stable storage, survives).  Attached clients drop their
+        connections; when *takeover* names a neighbour broker they
+        immediately fail over to it — durable subscriptions are adopted
+        via the takeover path, plain ones re-subscribe fresh.  With
+        ``takeover=None`` the clients stay disconnected (their border
+        broker may restart later).  Returns the number of clients that
+        were attached at crash time.
+        """
+        broker = self.brokers[name]
+        orphans = broker.attached_clients()
+        broker.crash()
+        for client in orphans:
+            client.drop_connection()
+            if takeover is not None:
+                client.failover_to(self.brokers[takeover], name)
+        return len(orphans)
+
+    def restart_broker(self, name: str) -> int:
+        """Restart a crashed broker from snapshot + journal replay.
+
+        Returns the number of journal records replayed.  Clients do not
+        re-attach automatically — a recovered border broker is just a
+        broker again; move clients back with ``client.move_to(...)``.
+        """
+        return self.brokers[name].restart()
+
+    # ------------------------------------------------------------------
     # Execution control
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,473 @@
+"""Broker crash recovery: routing-state snapshots plus an admin log.
+
+A broker's volatile routing state is a deterministic function of the
+administrative traffic it has processed, so crash recovery needs exactly
+two persistent artifacts (both stored wire-encoded, the same canonical
+JSON the asyncio backend puts on real links):
+
+* a :class:`RoutingSnapshot` — the subscription and advertisement tables
+  row by row (filter, destination, subjects, pinned creation ``seq``)
+  plus the per-neighbour forwarded (filter, subject) sets, taken at a
+  quiescent instant, and
+* an append-only log of :class:`AdminLogRecord` entries — every admin or
+  mobility message the broker processed *after* the snapshot, tagged
+  with the destination it arrived from (a neighbour link or a locally
+  attached client).
+
+Restart decodes the snapshot (:func:`apply_snapshot` recreates each row
+with its original ``seq`` via :meth:`~repro.routing.table.RoutingTable.
+restore_row`, so every delta consumer observes the rows exactly as the
+live mutations produced them), then replays the log tail through the
+broker's normal dispatch with its outgoing links swapped for
+:class:`ReplaySink` stubs — the replay must mutate local state
+identically to the first execution without re-emitting a single message.
+The derived structures (``DispatchPlan``, ``NeighbourForwardingState``)
+are *not* snapshotted: they are rebuilt lazily from the recovered tables
+the first time they are consulted.
+
+The store keeps bytes, not objects — :meth:`RecoveryStore.snapshot` and
+:meth:`RecoveryStore.log_tail` decode on demand — which is what makes
+the crash-oracle test meaningful: everything a restart sees has survived
+a full encode/decode round trip.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.location_filter import LocationDependentSubscribe
+from repro.core.logical import LogicalSubscriptionState
+from repro.filters.filter import Filter
+from repro.filters.wire import filter_from_wire, filter_to_wire
+from repro.messages.base import Message, MessageKind
+from repro.messages.wire import decode_message, encode_message, message_from_payload
+
+#: One snapshotted routing-table row: (filter, destination, subjects, seq).
+SnapshotRow = Tuple[Filter, str, Tuple[str, ...], int]
+
+#: One forwarded-set element: (filter, subject) registered at a neighbour.
+ForwardedPair = Tuple[Filter, str]
+
+#: One snapshotted logical-mobility state: the LocationDependentSubscribe
+#: message equivalent to the state, plus the neighbours it was forwarded to.
+LogicalEntry = Tuple[LocationDependentSubscribe, Tuple[str, ...]]
+
+
+def _row_to_wire(row: SnapshotRow) -> Dict[str, Any]:
+    filter_, destination, subjects, seq = row
+    return {
+        "filter": filter_to_wire(filter_),
+        "destination": destination,
+        "subjects": list(subjects),
+        "seq": int(seq),
+    }
+
+
+def _row_from_wire(payload: Dict[str, Any]) -> SnapshotRow:
+    return (
+        filter_from_wire(payload["filter"]),
+        payload["destination"],
+        tuple(payload["subjects"]),
+        int(payload["seq"]),
+    )
+
+
+def _pairs_to_wire(pairs: Sequence[ForwardedPair]) -> List[Dict[str, Any]]:
+    return [
+        {"filter": filter_to_wire(filter_), "subject": subject}
+        for filter_, subject in pairs
+    ]
+
+
+def _pairs_from_wire(payload: Sequence[Dict[str, Any]]) -> Tuple[ForwardedPair, ...]:
+    return tuple(
+        (filter_from_wire(item["filter"]), item["subject"]) for item in payload
+    )
+
+
+class RoutingSnapshot(Message):
+    """A broker's complete routing state at one instant, wire-codable.
+
+    Rows keep their table insertion order (restore order matters: the
+    row dict's iteration order is part of the state delta consumers
+    observe) and their original creation ``seq``; ``*_row_seq`` records
+    each table's raw counter so numbers consumed by since-removed rows
+    are not handed out again after a restore.  ``log_index`` is the
+    sequence number of the last :class:`AdminLogRecord` the snapshot
+    already covers — replay starts right after it.
+    """
+
+    kind = MessageKind.ADMIN
+
+    __slots__ = (
+        "broker",
+        "taken_at",
+        "log_index",
+        "subscription_rows",
+        "subscription_row_seq",
+        "advertisement_rows",
+        "advertisement_row_seq",
+        "forwarded_subscriptions",
+        "forwarded_advertisements",
+        "logical_states",
+    )
+
+    def __init__(
+        self,
+        broker: str,
+        taken_at: float,
+        log_index: int,
+        subscription_rows: Iterable[SnapshotRow],
+        subscription_row_seq: int,
+        advertisement_rows: Iterable[SnapshotRow],
+        advertisement_row_seq: int,
+        forwarded_subscriptions: Dict[str, Sequence[ForwardedPair]],
+        forwarded_advertisements: Dict[str, Sequence[ForwardedPair]],
+        logical_states: Sequence[LogicalEntry] = (),
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(meta)
+        self.broker = broker
+        self.taken_at = float(taken_at)
+        self.log_index = int(log_index)
+        self.subscription_rows: Tuple[SnapshotRow, ...] = tuple(subscription_rows)
+        self.subscription_row_seq = int(subscription_row_seq)
+        self.advertisement_rows: Tuple[SnapshotRow, ...] = tuple(advertisement_rows)
+        self.advertisement_row_seq = int(advertisement_row_seq)
+        self.forwarded_subscriptions: Dict[str, Tuple[ForwardedPair, ...]] = {
+            neighbour: tuple(pairs)
+            for neighbour, pairs in forwarded_subscriptions.items()
+        }
+        self.forwarded_advertisements: Dict[str, Tuple[ForwardedPair, ...]] = {
+            neighbour: tuple(pairs)
+            for neighbour, pairs in forwarded_advertisements.items()
+        }
+        self.logical_states: Tuple[LogicalEntry, ...] = tuple(
+            (subscribe, tuple(forwarded_to))
+            for subscribe, forwarded_to in logical_states
+        )
+
+    def describe(self) -> str:
+        return "RoutingSnapshot#{}({}, {} sub rows, {} adv rows)".format(
+            self.message_id,
+            self.broker,
+            len(self.subscription_rows),
+            len(self.advertisement_rows),
+        )
+
+    def _wire_body(self) -> Dict[str, Any]:
+        return {
+            "broker": self.broker,
+            "taken_at": self.taken_at,
+            "log_index": self.log_index,
+            "subscription": {
+                "rows": [_row_to_wire(row) for row in self.subscription_rows],
+                "row_seq": self.subscription_row_seq,
+            },
+            "advertisement": {
+                "rows": [_row_to_wire(row) for row in self.advertisement_rows],
+                "row_seq": self.advertisement_row_seq,
+            },
+            "forwarded_subscriptions": {
+                neighbour: _pairs_to_wire(pairs)
+                for neighbour, pairs in self.forwarded_subscriptions.items()
+            },
+            "forwarded_advertisements": {
+                neighbour: _pairs_to_wire(pairs)
+                for neighbour, pairs in self.forwarded_advertisements.items()
+            },
+            "logical": [
+                {"subscribe": subscribe.to_wire(), "forwarded_to": list(forwarded_to)}
+                for subscribe, forwarded_to in self.logical_states
+            ],
+        }
+
+    @classmethod
+    def _from_wire_body(cls, payload: Dict[str, Any]) -> "RoutingSnapshot":
+        return cls(
+            broker=payload["broker"],
+            taken_at=float(payload["taken_at"]),
+            log_index=int(payload["log_index"]),
+            subscription_rows=[
+                _row_from_wire(row) for row in payload["subscription"]["rows"]
+            ],
+            subscription_row_seq=int(payload["subscription"]["row_seq"]),
+            advertisement_rows=[
+                _row_from_wire(row) for row in payload["advertisement"]["rows"]
+            ],
+            advertisement_row_seq=int(payload["advertisement"]["row_seq"]),
+            forwarded_subscriptions={
+                neighbour: _pairs_from_wire(pairs)
+                for neighbour, pairs in payload["forwarded_subscriptions"].items()
+            },
+            forwarded_advertisements={
+                neighbour: _pairs_from_wire(pairs)
+                for neighbour, pairs in payload["forwarded_advertisements"].items()
+            },
+            logical_states=[
+                (
+                    message_from_payload(item["subscribe"]),
+                    tuple(item["forwarded_to"]),
+                )
+                for item in payload.get("logical", [])
+            ],
+        )
+
+
+class AdminLogRecord(Message):
+    """One logged admin/mobility message, wrapped with its provenance.
+
+    *origin* is the ``from_destination`` the broker dispatched the entry
+    with — a neighbour broker name for link traffic, a client id for
+    operations of locally attached clients.  Replaying the entry through
+    ``Broker._dispatch(entry, from_destination=origin)`` reproduces the
+    original state transition.  *sequence* numbers the log (1-based,
+    contiguous per broker); *logged_at* is the clock reading when the
+    entry was appended.
+    """
+
+    kind = MessageKind.ADMIN
+
+    __slots__ = ("broker", "origin", "sequence", "logged_at", "entry")
+
+    def __init__(
+        self,
+        broker: str,
+        origin: str,
+        sequence: int,
+        logged_at: float,
+        entry: Message,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(meta)
+        self.broker = broker
+        self.origin = origin
+        self.sequence = int(sequence)
+        self.logged_at = float(logged_at)
+        self.entry = entry
+
+    def describe(self) -> str:
+        return "AdminLogRecord#{}({} seq={} entry={})".format(
+            self.message_id, self.broker, self.sequence, self.entry.describe()
+        )
+
+    def _wire_body(self) -> Dict[str, Any]:
+        return {
+            "broker": self.broker,
+            "origin": self.origin,
+            "sequence": self.sequence,
+            "logged_at": self.logged_at,
+            "entry": self.entry.to_wire(),
+        }
+
+    @classmethod
+    def _from_wire_body(cls, payload: Dict[str, Any]) -> "AdminLogRecord":
+        return cls(
+            broker=payload["broker"],
+            origin=payload["origin"],
+            sequence=int(payload["sequence"]),
+            logged_at=float(payload["logged_at"]),
+            entry=message_from_payload(payload["entry"]),
+        )
+
+
+class RecoveryStore:
+    """Persistent-state stand-in: snapshot bytes plus an append-only log.
+
+    Everything is stored encoded (:func:`~repro.messages.wire.
+    encode_message` bytes) and decoded on demand, so recovery always
+    exercises the full wire round trip.  :meth:`install_snapshot`
+    truncates the log prefix the snapshot covers — the paper's usual
+    checkpoint-plus-tail layout.
+    """
+
+    def __init__(self, broker_name: str) -> None:
+        self.broker_name = broker_name
+        self._snapshot_bytes: Optional[bytes] = None
+        self._log: List[bytes] = []
+        self._next_sequence = 1
+        self.snapshot_count = 0
+
+    @property
+    def log_index(self) -> int:
+        """Sequence number of the most recently appended log record."""
+        return self._next_sequence - 1
+
+    def append(self, origin: str, entry: Message, logged_at: float) -> AdminLogRecord:
+        """Append one admin message to the log and return its record."""
+        record = AdminLogRecord(
+            broker=self.broker_name,
+            origin=origin,
+            sequence=self._next_sequence,
+            logged_at=logged_at,
+            entry=entry,
+        )
+        self._next_sequence += 1
+        self._log.append(encode_message(record))
+        return record
+
+    def install_snapshot(self, snapshot: RoutingSnapshot) -> None:
+        """Store *snapshot* and drop the log prefix it covers."""
+        self._snapshot_bytes = encode_message(snapshot)
+        covered = snapshot.log_index
+        self._log = [
+            data
+            for data in self._log
+            if AdminLogRecord.from_wire(json.loads(data.decode("utf-8"))).sequence
+            > covered
+        ]
+        self.snapshot_count += 1
+
+    def snapshot(self) -> Optional[RoutingSnapshot]:
+        """Decode and return the stored snapshot, or ``None``."""
+        if self._snapshot_bytes is None:
+            return None
+        decoded = decode_message(self._snapshot_bytes)
+        if not isinstance(decoded, RoutingSnapshot):
+            raise TypeError("recovery store holds a non-snapshot message")
+        return decoded
+
+    def log_tail(self) -> List[AdminLogRecord]:
+        """Decode the retained log records, in append order."""
+        records = []
+        for data in self._log:
+            decoded = decode_message(data)
+            if not isinstance(decoded, AdminLogRecord):
+                raise TypeError("recovery log holds a non-log message")
+            records.append(decoded)
+        return records
+
+    def log_size(self) -> int:
+        """Number of retained (post-snapshot) log records."""
+        return len(self._log)
+
+    def stored_bytes(self) -> int:
+        """Total persisted size: snapshot plus retained log, in bytes."""
+        total = len(self._snapshot_bytes) if self._snapshot_bytes else 0
+        return total + sum(len(data) for data in self._log)
+
+
+class ReplaySink:
+    """A no-op stand-in for an outgoing channel during log replay.
+
+    Replaying the log must evolve the broker's *local* state exactly as
+    the first execution did — including the per-neighbour forwarded
+    bookkeeping — without re-sending anything: the neighbours processed
+    the originals before the crash.
+    """
+
+    __slots__ = ("source", "target", "suppressed_count")
+
+    def __init__(self, source: str, target: str) -> None:
+        self.source = source
+        self.target = target
+        self.suppressed_count = 0
+
+    def send(self, message: Message) -> None:
+        self.suppressed_count += 1
+
+
+def table_rows(table: Any) -> List[SnapshotRow]:
+    """The snapshot representation of *table*'s rows, in insertion order."""
+    return [
+        (entry.filter, entry.destination, tuple(sorted(entry.subjects)), entry.seq)
+        for entry in table.entries()
+    ]
+
+
+def encode_table(table: Any) -> bytes:
+    """Canonical byte encoding of a routing table (rows + raw counter).
+
+    The crash-oracle test compares tables across runs with ``==`` on
+    these bytes: two tables encode identically iff they hold the same
+    rows, in the same insertion order, with the same subjects, creation
+    sequence numbers and raw ``row_seq`` counter.
+    """
+    payload = {
+        "rows": [_row_to_wire(row) for row in table_rows(table)],
+        "row_seq": table.row_seq,
+    }
+    return json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+
+def build_snapshot(broker: Any, log_index: int) -> RoutingSnapshot:
+    """Capture *broker*'s routing state as a :class:`RoutingSnapshot`."""
+    return RoutingSnapshot(
+        broker=broker.name,
+        taken_at=broker.clock.now,
+        log_index=log_index,
+        subscription_rows=table_rows(broker.subscription_table),
+        subscription_row_seq=broker.subscription_table.row_seq,
+        advertisement_rows=table_rows(broker.advertisement_table),
+        advertisement_row_seq=broker.advertisement_table.row_seq,
+        forwarded_subscriptions={
+            neighbour: [(filter_, subject) for (_, subject), filter_ in mapping.items()]
+            for neighbour, mapping in broker._forwarded_subscriptions.items()
+        },
+        forwarded_advertisements={
+            neighbour: [(filter_, subject) for (_, subject), filter_ in mapping.items()]
+            for neighbour, mapping in broker._forwarded_advertisements.items()
+        },
+        logical_states=[
+            (
+                LocationDependentSubscribe(
+                    client_id=state.client_id,
+                    subscription_id=state.subscription_id,
+                    location_filter=state.location_filter,
+                    movement_graph=state.movement_graph,
+                    plan=state.plan,
+                    current_location=state.current_location,
+                    hop_index=state.hop_index,
+                ),
+                tuple(sorted(broker._logical_forwarded_to.get(token, ()))),
+            )
+            for token, state in broker._logical_states.items()
+        ],
+    )
+
+
+def apply_snapshot(broker: Any, snapshot: RoutingSnapshot) -> int:
+    """Restore *broker*'s tables and forwarded sets from *snapshot*.
+
+    Returns the number of routing rows restored.  The broker's tables
+    must be empty (freshly crashed); rows are recreated in snapshot
+    order with their pinned creation sequence numbers, so every delta
+    consumer rebuilds exactly the state it held before the crash.
+    """
+    if snapshot.broker != broker.name:
+        raise ValueError(
+            "snapshot of {} cannot restore broker {}".format(snapshot.broker, broker.name)
+        )
+    restored = 0
+    for filter_, destination, subjects, seq in snapshot.subscription_rows:
+        broker.subscription_table.restore_row(filter_, destination, subjects, seq)
+        restored += 1
+    broker.subscription_table.advance_row_seq(snapshot.subscription_row_seq)
+    for filter_, destination, subjects, seq in snapshot.advertisement_rows:
+        broker.advertisement_table.restore_row(filter_, destination, subjects, seq)
+        restored += 1
+    broker.advertisement_table.advance_row_seq(snapshot.advertisement_row_seq)
+    for neighbour, pairs in snapshot.forwarded_subscriptions.items():
+        mapping = broker._forwarded_subscriptions.setdefault(neighbour, {})
+        mapping.clear()
+        for filter_, subject in pairs:
+            mapping[(filter_.key(), subject)] = filter_
+    for neighbour, pairs in snapshot.forwarded_advertisements.items():
+        mapping = broker._forwarded_advertisements.setdefault(neighbour, {})
+        mapping.clear()
+        for filter_, subject in pairs:
+            mapping[(filter_.key(), subject)] = filter_
+    for subscribe, forwarded_to in snapshot.logical_states:
+        token = "{}/{}".format(subscribe.client_id, subscribe.subscription_id)
+        broker._logical_states[token] = LogicalSubscriptionState(
+            client_id=subscribe.client_id,
+            subscription_id=subscribe.subscription_id,
+            location_filter=subscribe.location_filter,
+            movement_graph=subscribe.movement_graph,
+            plan=subscribe.plan,
+            current_location=subscribe.current_location,
+            hop_index=subscribe.hop_index,
+        )
+        broker._logical_forwarded_to[token] = set(forwarded_to)
+    return restored

@@ -15,9 +15,14 @@ runs everything and produces the content of ``EXPERIMENTS.md``.
 | Figure 3 (blackout periods)             | :mod:`repro.experiments.fig3_blackout` |
 | Figure 5 (relocation walk-through)      | :mod:`repro.experiments.fig5_relocation` |
 | Figure 9 (total message counts)         | :mod:`repro.experiments.fig9_message_counts` |
+
+Beyond the paper, :mod:`repro.experiments.failure_schedule` exercises the
+robustness layer (broker crash/restart, durable subscriptions, scheduled
+partitions) that the failure-free paper model has no counterpart for.
 """
 
 from repro.experiments import (
+    failure_schedule,
     fig2_naive_roaming,
     fig3_blackout,
     fig5_relocation,
@@ -37,4 +42,5 @@ __all__ = [
     "fig3_blackout",
     "fig5_relocation",
     "fig9_message_counts",
+    "failure_schedule",
 ]

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.experiments import (
+    failure_schedule,
     fig2_naive_roaming,
     fig3_blackout,
     fig5_relocation,
@@ -87,6 +88,13 @@ def run_all(quick: bool = False) -> List[ExperimentOutcome]:
     f9 = fig9_message_counts.run(config)
     outcomes.append(
         ExperimentOutcome("Figure 9 (total message counts)", f9.shows_expected_shape, f9.format_text())
+    )
+
+    fs = failure_schedule.run()
+    outcomes.append(
+        ExperimentOutcome(
+            "Failure schedule (crash/restart + partition)", fs.passed, fs.format_text()
+        )
     )
 
     return outcomes

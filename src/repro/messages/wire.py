@@ -48,6 +48,7 @@ def _message_types() -> Dict[str, Type[Message]]:
     :mod:`repro.messages.base`, so importing it at module scope would
     make the codec's import order load-bearing.
     """
+    from repro.broker.recovery import AdminLogRecord, RoutingSnapshot
     from repro.core.location_filter import (
         LocationDependentSubscribe,
         LocationDependentUnsubscribe,
@@ -76,6 +77,8 @@ def _message_types() -> Dict[str, Type[Message]]:
         LocationUpdate,
         LocationDependentSubscribe,
         LocationDependentUnsubscribe,
+        RoutingSnapshot,
+        AdminLogRecord,
     )
     return {message_type.__name__: message_type for message_type in types}
 

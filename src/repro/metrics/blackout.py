@@ -65,6 +65,78 @@ class BlackoutReport:
         return max(offsets)
 
 
+@dataclass
+class NodeLossBlackout:
+    """Delivery disruption around one broker outage window.
+
+    Reuses the Figure-3 blackout machinery, but anchored on a *crash*
+    instead of a subscription: which matching notifications published
+    while (and shortly after) a broker was down reached the subscriber,
+    and how long after the crash deliveries resumed.
+    """
+
+    crash_time: float
+    restore_time: Optional[float]
+    report: BlackoutReport
+    delivery_times: List[float]
+
+    @property
+    def lost(self) -> List[Tuple[float, Identity]]:
+        """Matching notifications published at/after the crash, never delivered."""
+        return [(t, identity) for t, identity in self.report.missed if t >= self.crash_time]
+
+    @property
+    def lost_count(self) -> int:
+        """Number of matching notifications lost to the outage."""
+        return len(self.lost)
+
+    @property
+    def resumption_delay(self) -> Optional[float]:
+        """Crash-to-first-post-crash-delivery delay (``None``: none arrived)."""
+        post = [t for t in self.delivery_times if t >= self.crash_time]
+        if not post:
+            return None
+        return min(post) - self.crash_time
+
+
+def measure_node_loss_blackout(
+    trace: TraceRecorder,
+    client_id: str,
+    filter_: Filter,
+    crash_time: float,
+    restore_time: Optional[float] = None,
+    window_end: Optional[float] = None,
+    subscription_id: Optional[str] = None,
+) -> NodeLossBlackout:
+    """Measure delivery disruption caused by a broker outage.
+
+    Considers matching notifications published from *crash_time* up to
+    *window_end* (default: whole trace) and checks which ones reached
+    *client_id*.  *restore_time* (the restart instant, if any) is carried
+    through for reporting.
+    """
+    report = measure_blackout(
+        trace,
+        client_id,
+        filter_,
+        subscribe_time=crash_time,
+        window_start=crash_time,
+        window_end=window_end,
+        subscription_id=subscription_id,
+    )
+    delivery_times = [
+        record.time
+        for record in trace.deliveries_for(client_id)
+        if subscription_id is None or record.subscription_id == subscription_id
+    ]
+    return NodeLossBlackout(
+        crash_time=crash_time,
+        restore_time=restore_time,
+        report=report,
+        delivery_times=delivery_times,
+    )
+
+
 def measure_blackout(
     trace: TraceRecorder,
     client_id: str,

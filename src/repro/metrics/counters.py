@@ -114,6 +114,27 @@ def data_plane_breakdown(brokers: Iterable[Any] = ()) -> Dict[str, int]:
     return out
 
 
+def delivery_dedup_breakdown(clients: Iterable[Any]) -> Dict[str, int]:
+    """Durable-delivery hygiene counters summed over *clients*.
+
+    Durable subscriptions give at-least-once delivery; the client runtime
+    turns that into exactly-once by suppressing sequence numbers it has
+    already seen and counting (without masking) forward gaps.  This sums
+    the per-client counters:
+
+    * ``duplicates_suppressed`` — redeliveries dropped before the
+      application callback;
+    * ``gaps_detected`` — deliveries whose sequence jumped past the
+      expected successor (each one an at-least-once violation unless the
+      missing sequence is redelivered later).
+    """
+    out: Dict[str, int] = {"duplicates_suppressed": 0, "gaps_detected": 0}
+    for client in clients:
+        for name in out:
+            out[name] += client.counters.get(name, 0)
+    return out
+
+
 def cumulative_message_series(
     trace: TraceRecorder,
     sample_times: Sequence[float],

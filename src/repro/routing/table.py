@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Set, Tuple
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.filters.filter import Filter
 from repro.filters.matching import MatchingEngine
@@ -81,6 +81,22 @@ class RoutingTable:
     def destination_epoch(self, destination: str) -> int:
         """Epoch of the last change affecting rows of *destination* (0 if none)."""
         return self._destination_epochs.get(destination, 0)
+
+    @property
+    def row_seq(self) -> int:
+        """The highest row creation sequence number ever assigned."""
+        return self._row_seq
+
+    def advance_row_seq(self, row_seq: int) -> None:
+        """Fast-forward the row numbering (snapshot restore).
+
+        Rows created *and removed* before a snapshot consumed sequence
+        numbers that no surviving row carries; restoring only the
+        surviving rows would hand those numbers out again, diverging from
+        a never-crashed table.  The snapshot therefore records the raw
+        counter and the restore path replays it here.
+        """
+        self._row_seq = max(self._row_seq, int(row_seq))
 
     def add_listener(self, listener) -> None:
         """Register ``listener(destination)`` to be called on every change.
@@ -223,6 +239,44 @@ class RoutingTable:
         if removed:
             self._notify(destination)
         return removed
+
+    def restore_row(
+        self, filter_: Filter, destination: str, subjects: Sequence[str], seq: int
+    ) -> RoutingEntry:
+        """Recreate one row with a pinned creation *seq* (crash recovery).
+
+        Snapshot restore must reproduce the pre-crash table exactly —
+        including each row's creation sequence number, which delta
+        consumers use as a stable position — so :meth:`add`'s automatic
+        numbering cannot be used.  The row is created with the recorded
+        *seq* before any delta listener observes it, then every subject
+        is published through the normal ``row_subject_added`` delta so
+        derived structures (dispatch plan, forwarding caches) are rebuilt
+        the same way live mutations build them.  Rows must be restored in
+        their original insertion order.
+        """
+        key = (self._filter_key(filter_), destination)
+        if key in self._entries:
+            raise ValueError(
+                "cannot restore duplicate row ({}, {})".format(filter_, destination)
+            )
+        if not subjects:
+            raise ValueError("a restored row needs at least one subject")
+        entry = RoutingEntry(
+            filter=filter_, destination=destination, subjects=set(), seq=int(seq)
+        )
+        self._entries[key] = entry
+        self._index.add(filter_, destination)
+        self._by_destination[destination].add(self._filter_key(filter_))
+        self._row_seq = max(self._row_seq, entry.seq)
+        created = True
+        for subject in subjects:
+            entry.subjects.add(subject)
+            for listener in self._delta_listeners:
+                listener.row_subject_added(entry, subject, created)
+            created = False
+        self._notify(destination)
+        return entry
 
     def clear(self) -> None:
         """Remove every row."""

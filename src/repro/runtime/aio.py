@@ -147,6 +147,11 @@ class AioChannel:
         self._deliver = deliver
         self.sent_count = 0
         self.delivered_count = 0
+        self.dropped_count = 0
+        #: When ``True`` (a crashed endpoint, see
+        #: :meth:`AioRuntime.set_broker_down`) frames are dropped at send
+        #: time instead of being enqueued.
+        self.down = False
         self._started = False
         # Memory transport state.
         self._pipe = _BytePipe()
@@ -170,6 +175,16 @@ class AioChannel:
         runtime = self.runtime
         if runtime.trace is not None:
             runtime.trace.record_link(runtime.clock.now, self.source, self.target, message)
+        if self.down:
+            # Drop BEFORE the in-flight counter increments: a frame that
+            # counts as in flight but is never read would make `settle`
+            # wait for quiescence that can never come.
+            self.dropped_count += 1
+            if runtime.trace is not None:
+                runtime.trace.record_drop(
+                    runtime.clock.now, self.source, self.target, message, "broker-down"
+                )
+            return
         frame = encode_frame(message)
         runtime._message_sent()
         if runtime.transport == "memory":
@@ -297,6 +312,22 @@ class AioRuntime:
         channel = AioChannel(self, source, target, deliver)
         self._channels.append(channel)
         return channel
+
+    def set_broker_down(self, name: str, down: bool = True) -> int:
+        """Mark every channel into or out of broker *name* as down.
+
+        Frames sent on a downed channel are dropped (and recorded in the
+        trace with reason ``"broker-down"``) instead of enqueued — the
+        byte-stream analogue of the simulator's
+        :meth:`~repro.sim.network.FaultModel.broker_down` windows.
+        Returns the number of channels toggled.
+        """
+        toggled = 0
+        for channel in self._channels:
+            if name in (channel.source, channel.target):
+                channel.down = down
+                toggled += 1
+        return toggled
 
     def settle(self, max_events: int = 1_000_000) -> int:
         """Spin the loop until no frame is in flight anywhere.

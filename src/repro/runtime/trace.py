@@ -54,6 +54,27 @@ class DeliveryRecord:
 
 
 @dataclass(frozen=True)
+class DropRecord:
+    """One message lost by fault injection, attributed to its cause.
+
+    *reason* names the fault that consumed the message: ``"loss"`` for
+    the iid drop model, ``"partition"`` for a scheduled link-down window,
+    ``"broker-down"`` for a message that reached a crashed broker.  The
+    recovery metrics (:mod:`repro.metrics.recovery`) split losses by
+    reason, which is how the failure experiments attribute missing
+    deliveries to the fault schedule instead of guessing.
+    """
+
+    time: float
+    source: str
+    target: str
+    kind: MessageKind
+    message_type: str
+    message_id: int
+    reason: str
+
+
+@dataclass(frozen=True)
 class PublishRecord:
     """One notification injected into the system by a producer."""
 
@@ -74,6 +95,7 @@ class TraceRecorder:
         self.link_records: List[LinkRecord] = []
         self.delivery_records: List[DeliveryRecord] = []
         self.publish_records: List[PublishRecord] = []
+        self.drop_records: List[DropRecord] = []
 
     # -- recording hooks ----------------------------------------------------
     def record_link(self, time: float, source: str, target: str, message: Message) -> None:
@@ -87,6 +109,22 @@ class TraceRecorder:
                 message_type=type(message).__name__,
                 message_id=message.message_id,
                 description=message.describe(),
+            )
+        )
+
+    def record_drop(
+        self, time: float, source: str, target: str, message: Message, reason: str
+    ) -> None:
+        """Record that *message* was lost between *source* and *target*."""
+        self.drop_records.append(
+            DropRecord(
+                time=time,
+                source=source,
+                target=target,
+                kind=message.kind,
+                message_type=type(message).__name__,
+                message_id=message.message_id,
+                reason=reason,
             )
         )
 
@@ -152,6 +190,25 @@ class TraceRecorder:
         """Number of link traversals matching the given filters."""
         return len(self.link_messages(kind=kind, until=until, since=since))
 
+    def drops(
+        self,
+        kind: Optional[MessageKind] = None,
+        reason: Optional[str] = None,
+        until: Optional[float] = None,
+        since: Optional[float] = None,
+    ) -> List[DropRecord]:
+        """Dropped messages filtered by kind, fault reason and time window."""
+        out = self.drop_records
+        if kind is not None:
+            out = [r for r in out if r.kind == kind]
+        if reason is not None:
+            out = [r for r in out if r.reason == reason]
+        if until is not None:
+            out = [r for r in out if r.time <= until]
+        if since is not None:
+            out = [r for r in out if r.time >= since]
+        return list(out)
+
     def publishes(self, until: Optional[float] = None) -> List[PublishRecord]:
         """All publish records, optionally truncated at *until*."""
         if until is None:
@@ -163,3 +220,4 @@ class TraceRecorder:
         self.link_records.clear()
         self.delivery_records.clear()
         self.publish_records.clear()
+        self.drop_records.clear()

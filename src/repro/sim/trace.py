@@ -7,9 +7,10 @@ runtime layer now.  This module keeps the historical import path working.
 
 from repro.runtime.trace import (
     DeliveryRecord,
+    DropRecord,
     LinkRecord,
     PublishRecord,
     TraceRecorder,
 )
 
-__all__ = ["DeliveryRecord", "LinkRecord", "PublishRecord", "TraceRecorder"]
+__all__ = ["DeliveryRecord", "DropRecord", "LinkRecord", "PublishRecord", "TraceRecorder"]

@@ -1,0 +1,36 @@
+"""The failure-schedule scenario family meets its acceptance bars."""
+
+from repro.experiments import failure_schedule
+
+
+def test_crash_restart_scenario_holds_durable_guarantees():
+    result = failure_schedule.run_crash_restart()
+    assert result.durable_guarantees_hold
+    assert result.delivered_total == result.expected_total
+    assert result.tables_identical
+    assert result.log_replayed > 0
+    assert result.report.durable_zero_loss
+    assert result.report.routing_rows > 0
+
+
+def test_partition_scenario_attributes_every_loss():
+    result = failure_schedule.run_partition()
+    assert result.lost > 0
+    assert result.loss_fully_attributed
+    assert result.dropped == {"partition": result.lost}
+
+
+def test_family_runner_passes_and_renders():
+    result = failure_schedule.run()
+    assert result.passed
+    text = result.format_text()
+    assert "crash/restart with durable subscribers" in text
+    assert "scheduled link partition" in text
+
+
+def test_report_to_dict_is_json_friendly():
+    import json
+
+    result = failure_schedule.run_crash_restart()
+    payload = json.dumps(result.report.to_dict())
+    assert "durable_zero_loss" in payload

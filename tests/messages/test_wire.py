@@ -40,6 +40,7 @@ from repro.filters.constraints import (
     NotEquals,
     Prefix,
 )
+from repro.broker.recovery import AdminLogRecord, RoutingSnapshot
 from repro.filters.filter import Filter, MatchAll, MatchNone
 from repro.filters.wire import filter_from_wire, filter_to_wire
 from repro.messages.admin import Advertise, Subscribe, Unadvertise, Unsubscribe
@@ -200,9 +201,81 @@ def location_dependent_subscribes(draw):
     )
 
 
+#: Snapshot rows: (filter, destination, subjects, seq).
+snapshot_rows = st.tuples(
+    filters,
+    identifiers,
+    st.lists(identifiers, min_size=1, max_size=3, unique=True).map(tuple),
+    st.integers(1, 10_000),
+)
+
+#: Forwarded (filter, subject) pairs for one neighbour.
+forwarded_pairs = st.lists(st.tuples(filters, identifiers), max_size=3)
+
+
+@st.composite
+def routing_snapshots(draw):
+    return RoutingSnapshot(
+        broker=draw(identifiers),
+        taken_at=draw(st.floats(0, 1e6, allow_nan=False)),
+        log_index=draw(st.integers(0, 10_000)),
+        subscription_rows=draw(st.lists(snapshot_rows, max_size=4)),
+        subscription_row_seq=draw(st.integers(0, 20_000)),
+        advertisement_rows=draw(st.lists(snapshot_rows, max_size=4)),
+        advertisement_row_seq=draw(st.integers(0, 20_000)),
+        forwarded_subscriptions=draw(
+            st.dictionaries(identifiers, forwarded_pairs, max_size=3)
+        ),
+        forwarded_advertisements=draw(
+            st.dictionaries(identifiers, forwarded_pairs, max_size=3)
+        ),
+        logical_states=draw(
+            st.lists(
+                st.tuples(
+                    location_dependent_subscribes(),
+                    st.lists(identifiers, max_size=3, unique=True).map(tuple),
+                ),
+                max_size=2,
+            )
+        ),
+        meta=draw(metas),
+    )
+
+
+#: Log entries wrap any admin/mobility message (never notifications).
+log_entries = st.one_of(
+    _admin(Subscribe),
+    _admin(Unsubscribe),
+    _admin(Advertise),
+    _admin(Unadvertise),
+    st.builds(
+        MovedSubscribe,
+        client_id=identifiers,
+        subscription_id=identifiers,
+        filter_=filters,
+        last_sequence=st.integers(0, 10_000),
+        new_border=identifiers,
+        meta=metas,
+    ),
+    location_dependent_subscribes(),
+)
+
+admin_log_records = st.builds(
+    AdminLogRecord,
+    broker=identifiers,
+    origin=identifiers,
+    sequence=st.integers(1, 100_000),
+    logged_at=st.floats(0, 1e6, allow_nan=False),
+    entry=log_entries,
+    meta=metas,
+)
+
+
 messages = st.one_of(
     notifications,
     sequenced_notifications,
+    routing_snapshots(),
+    admin_log_records,
     _admin(Subscribe),
     _admin(Unsubscribe),
     _admin(Advertise),
@@ -318,6 +391,8 @@ def test_registry_covers_every_concrete_message_type():
         "LocationUpdate",
         "LocationDependentSubscribe",
         "LocationDependentUnsubscribe",
+        "RoutingSnapshot",
+        "AdminLogRecord",
     }
     assert expected == set(registry)
     for name, message_type in registry.items():

@@ -1,0 +1,90 @@
+"""Downed channels on the asyncio backend must not hang ``settle``.
+
+Regression battery for the in-flight accounting: a frame sent into a
+down broker is dropped *before* the quiescence counter increments — if
+it counted as in flight without a reader ever consuming it, ``settle``
+would wait forever for a quiescence that cannot come.
+"""
+
+from repro.broker.network import PubSubNetwork
+from repro.runtime.aio import AioRuntime
+from repro.topology.builders import line_topology
+
+
+def _network():
+    network = PubSubNetwork(line_topology(3), runtime=AioRuntime())
+    producer = network.add_client("producer", "B3")
+    producer.advertise({"topic": "news"})
+    consumer = network.add_client("consumer", "B1")
+    consumer.subscribe({"topic": "news"})
+    network.settle()
+    return network, producer, consumer
+
+
+class TestSettleWithDownedBroker:
+    def test_settle_returns_when_a_broker_is_down_mid_workload(self):
+        network, producer, consumer = _network()
+        try:
+            runtime = network.runtime
+            assert runtime.set_broker_down("B2") == 4
+            producer.publish({"topic": "news", "n": 1})
+            # Without the drop-before-count fix this call never returns:
+            # the frame into B2 stays "in flight" with no reader.
+            network.settle(max_events=10_000)
+            assert consumer.received == []
+        finally:
+            network.close()
+
+    def test_drops_are_recorded_and_delivery_resumes_after_restore(self):
+        network, producer, consumer = _network()
+        try:
+            runtime = network.runtime
+            runtime.set_broker_down("B2")
+            producer.publish({"topic": "news", "n": 1})
+            network.settle(max_events=10_000)
+            drops = network.trace.drops(reason="broker-down")
+            assert len(drops) == 1
+            assert (drops[0].source, drops[0].target) == ("B3", "B2")
+
+            assert runtime.set_broker_down("B2", down=False) == 4
+            producer.publish({"topic": "news", "n": 2})
+            network.settle()
+            assert [r.notification.get("n") for r in consumer.received] == [2]
+        finally:
+            network.close()
+
+    def test_down_flag_is_per_broker(self):
+        network, producer, consumer = _network()
+        try:
+            runtime = network.runtime
+            runtime.set_broker_down("B2")
+            # Channels not touching B2 keep flowing: a subscriber local
+            # to the producer's broker still gets its deliveries.
+            local = network.add_client("local", "B3")
+            local.subscribe({"topic": "news"})
+            network.settle(max_events=10_000)
+            producer.publish({"topic": "news", "n": 1})
+            network.settle(max_events=10_000)
+            assert [r.notification.get("n") for r in local.received] == [1]
+            assert consumer.received == []
+        finally:
+            network.close()
+
+
+def test_down_channels_count_their_drops():
+    network = PubSubNetwork(line_topology(2), runtime=AioRuntime())
+    try:
+        producer = network.add_client("producer", "B2")
+        producer.advertise({"topic": "news"})
+        consumer = network.add_client("consumer", "B1")
+        consumer.subscribe({"topic": "news"})
+        network.settle()
+        network.runtime.set_broker_down("B1")
+        producer.publish({"topic": "news"})
+        network.settle(max_events=10_000)
+        down_channels = [
+            channel for channel in network.runtime._channels if channel.target == "B1"
+        ]
+        assert sum(channel.dropped_count for channel in down_channels) == 1
+    finally:
+        network.close()

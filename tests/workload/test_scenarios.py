@@ -48,7 +48,7 @@ class TestScenarioConstruction:
 class TestExperimentRunner:
     def test_run_all_quick_passes_everything(self):
         outcomes = runner.run_all(quick=True)
-        assert len(outcomes) == 8
+        assert len(outcomes) == 9
         failures = [outcome.name for outcome in outcomes if not outcome.passed]
         assert failures == []
 
@@ -57,7 +57,7 @@ class TestExperimentRunner:
         report = runner.format_report(outcomes)
         assert "Table 1" in report
         assert "Figure 9" in report
-        assert "8 / 8 experiments match the paper" in report
+        assert "9 / 9 experiments match the paper" in report
 
     def test_main_returns_zero_on_success(self, capsys):
         assert runner.main(["--quick"]) == 0
