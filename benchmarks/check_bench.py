@@ -18,9 +18,9 @@ regressed beyond tolerance:
   ``--ratio-tolerance`` (default 50%) of the committed value — generous
   because wall-clock ratios are machine-bound, while losing an
   optimisation entirely reads as ~1×;
-* workload descriptors (``subscriptions``) must match exactly — a
-  mismatch means the benchmark itself changed and the BENCH file must be
-  regenerated;
+* workload descriptors (``subscriptions``, ``backend`` ...) must match
+  exactly — a mismatch means the benchmark itself changed (or runs on a
+  different runtime backend) and the BENCH file must be regenerated;
 * benchmarks present in the committed file must still exist.
 
 Mapping convention: ``BENCH_<name>.json`` is produced by
@@ -73,7 +73,16 @@ RATIO_FIELDS = (
     "constraint_eval_ratio",
 )
 #: extra_info fields describing the workload; any change requires regeneration.
-WORKLOAD_FIELDS = ("subscriptions", "roam_changes", "publishes", "delivered", "routing_rows")
+#: ``backend`` names the runtime the numbers were produced on (a string,
+#: gated on exact equality like every other workload descriptor).
+WORKLOAD_FIELDS = (
+    "subscriptions",
+    "roam_changes",
+    "publishes",
+    "delivered",
+    "routing_rows",
+    "backend",
+)
 #: Wall-clock fields (``settle_seconds*``, ``mean_s`` ...) are never gated.
 
 
@@ -131,7 +140,9 @@ def regenerate(name: str, out_dir: str) -> dict:
     ]
     result = subprocess.run(command, cwd=REPO_ROOT)
     if result.returncode != 0:
-        raise SystemExit("benchmark suite for {!r} failed (exit {})".format(name, result.returncode))
+        raise SystemExit(
+            "benchmark suite for {!r} failed (exit {})".format(name, result.returncode)
+        )
     with open(os.path.join(out_dir, "BENCH_{}.json".format(name))) as handle:
         return json.load(handle)
 
@@ -154,7 +165,12 @@ def compare(name, old, new, counter_tolerance, ratio_tolerance):
         new_info = new_record.get("extra_info", {})
         for field, old_value in sorted(old_info.items()):
             kind = _classify(field)
-            if kind == "ignore" or not isinstance(old_value, (int, float)):
+            if kind == "ignore":
+                continue
+            # Workload descriptors are compared exactly whatever their
+            # type (``backend`` is a string); the numeric tolerances
+            # below only make sense for numbers.
+            if kind != "workload" and not isinstance(old_value, (int, float)):
                 continue
             new_value = new_info.get(field)
             if new_value is None:

@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark suites.
+
+Every benchmark records which runtime backend produced its numbers: the
+``BENCH_*.json`` workload blocks carry a ``backend`` field that
+``check_bench.py`` gates on exact equality, so a suite silently switched
+to another backend (whose wall-clock profile is incomparable) fails the
+regression gate instead of polluting the committed baselines.  The
+suites all drive :class:`~repro.broker.network.PubSubNetwork` with its
+default discrete-event runtime; virtual-time asyncio numbers are kept
+out of the committed files on purpose (the backend-parity CI gate covers
+behavioural equivalence, not timing).
+"""
+
+import pytest
+
+#: The runtime backend the benchmark suites run on (see module docstring).
+BENCH_BACKEND = "sim"
+
+
+@pytest.fixture(autouse=True)
+def _record_backend(request):
+    """Stamp the backend into every benchmark's ``extra_info``."""
+    if "benchmark" in request.fixturenames:
+        request.getfixturevalue("benchmark").extra_info.setdefault("backend", BENCH_BACKEND)

@@ -30,7 +30,9 @@ HOPS = 4
 def _run_plan(plan, propagate_unchanged=True, horizon=30.0, dwell_time=3.0):
     graph = MovementGraph.line(LOCATIONS)
     config = BrokerConfig(propagate_unchanged_location_updates=propagate_unchanged)
-    network = PubSubNetwork(line_topology(HOPS + 1), strategy="covering", latency=0.01, config=config)
+    network = PubSubNetwork(
+        line_topology(HOPS + 1), strategy="covering", latency=0.01, config=config
+    )
     producer = network.add_client("producer", "B{}".format(HOPS + 1))
     producer.advertise({"category": "facility"})
     consumer = network.add_client("consumer", "B1")

@@ -84,7 +84,11 @@ def main() -> None:
         for record in car.received
         if record.notification.get("location") == route.location_at(record.time)
     )
-    print("notifications matching the car's block at delivery time: {}/{}".format(relevant, len(car.received)))
+    print(
+        "notifications matching the car's block at delivery time: {}/{}".format(
+            relevant, len(car.received)
+        )
+    )
 
 
 if __name__ == "__main__":

@@ -69,7 +69,9 @@ def main() -> None:
     for attach_time, detach_time, broker in windows:
         print(
             "  {} from t={:5.1f} to {}".format(
-                broker, attach_time, "end" if detach_time is None else "t={:5.1f}".format(detach_time)
+                broker,
+                attach_time,
+                "end" if detach_time is None else "t={:5.1f}".format(detach_time),
             )
         )
 

@@ -73,7 +73,11 @@ def run_configuration(label: str, plan: UncertaintyPlan) -> None:
 
 
 def main() -> None:
-    print("visitor walks {} rooms, {:.0f} s per room, for {:.0f} s\n".format(len(ROOMS), DWELL_TIME, HORIZON))
+    print(
+        "visitor walks {} rooms, {:.0f} s per room, for {:.0f} s\n".format(
+            len(ROOMS), DWELL_TIME, HORIZON
+        )
+    )
     hops = 2  # B1 -> hub -> B2
     adaptive = UncertaintyPlan.adaptive(dwell_time=DWELL_TIME, hop_delays=[0.01] * hops)
     run_configuration("global sub/unsub", global_subunsub_plan(hops))

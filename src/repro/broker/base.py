@@ -902,7 +902,9 @@ class Broker:
     # ------------------------------------------------------------------
     # Notification handling
     # ------------------------------------------------------------------
-    def _handle_notification(self, notification: Notification, from_destination: Optional[str]) -> None:
+    def _handle_notification(
+        self, notification: Notification, from_destination: Optional[str]
+    ) -> None:
         attributes = notification.attributes
         plan = self._dispatch_plan
         if plan is not None:
@@ -1022,7 +1024,9 @@ class Broker:
         self._withdraw_advertisement(message.filter, message.subject, exclude=from_destination)
         self.refresh_forwarding(from_destination)
 
-    def _propagate_advertisement(self, filter_: Filter, subject: str, exclude: Optional[str]) -> None:
+    def _propagate_advertisement(
+        self, filter_: Filter, subject: str, exclude: Optional[str]
+    ) -> None:
         for neighbour in self.neighbours():
             if neighbour == exclude:
                 continue
@@ -1031,9 +1035,13 @@ class Broker:
             if key in forwarded:
                 continue
             forwarded[key] = filter_
-            self._links[neighbour].send(Advertise(filter_, subject=self.name, subscription_id=subject))
+            self._links[neighbour].send(
+                Advertise(filter_, subject=self.name, subscription_id=subject)
+            )
 
-    def _withdraw_advertisement(self, filter_: Filter, subject: str, exclude: Optional[str]) -> None:
+    def _withdraw_advertisement(
+        self, filter_: Filter, subject: str, exclude: Optional[str]
+    ) -> None:
         for neighbour in self.neighbours():
             if neighbour == exclude:
                 continue
@@ -1392,7 +1400,9 @@ class Broker:
         for neighbour in self.neighbours():
             if neighbour == exclude:
                 continue
-            if self.config.use_advertisements and not self._advertised_via(neighbour, message.filter):
+            if self.config.use_advertisements and not self._advertised_via(
+                neighbour, message.filter
+            ):
                 continue
             forwarded = self._forwarded_subscriptions[neighbour]
             forwarded[(message.filter.key(), token)] = message.filter
@@ -1406,7 +1416,9 @@ class Broker:
             count += 1
         return count
 
-    def _handle_moved_subscribe(self, message: MovedSubscribe, from_destination: Optional[str]) -> None:
+    def _handle_moved_subscribe(
+        self, message: MovedSubscribe, from_destination: Optional[str]
+    ) -> None:
         if from_destination is None:
             raise ValueError("MovedSubscribe over a link requires a source")
         token = subscription_token(message.client_id, message.subscription_id)
@@ -1728,7 +1740,9 @@ class Broker:
             if neighbour in self._links:
                 self._links[neighbour].send(message)
 
-    def _handle_location_update(self, message: LocationUpdate, from_destination: Optional[str]) -> None:
+    def _handle_location_update(
+        self, message: LocationUpdate, from_destination: Optional[str]
+    ) -> None:
         token = subscription_token(message.client_id, message.subscription_id)
         self._apply_location_change(token, message.new_location, from_destination)
 

@@ -431,6 +431,8 @@ class Client:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         where = self._broker.name if self._broker is not None else "<detached>"
         return "Client({} @ {}, subs={}, received={})".format(
-            self.client_id, where, len(self._subscriptions) + len(self._logical_subscriptions),
+            self.client_id,
+            where,
+            len(self._subscriptions) + len(self._logical_subscriptions),
             len(self.received),
         )

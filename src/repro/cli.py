@@ -62,7 +62,11 @@ def _run_demo() -> int:
     network.settle()
     print("delivered {} notifications:".format(len(consumer.received)))
     for record in consumer.received:
-        print("  t={:6.3f} seq={} {}".format(record.time, record.sequence, dict(record.notification.attributes)))
+        print(
+            "  t={:6.3f} seq={} {}".format(
+                record.time, record.sequence, dict(record.notification.attributes)
+            )
+        )
     return 0
 
 

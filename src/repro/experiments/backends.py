@@ -1,0 +1,45 @@
+"""Backend threading for the experiment suite.
+
+Every experiment module accepts an optional ``runtime_factory`` (see
+:func:`repro.runtime.factory.runtime_factory`): ``None`` keeps the
+historical default — the discrete-event simulator — while a factory runs
+the *same* experiment on whatever backend it produces, e.g. the
+virtual-time asyncio runtime.  The backend-parity CI gate relies on this
+to execute the full experiment set on every backend and compare traces.
+
+:func:`build_network` is the one place the choice is made, so the
+experiments themselves stay backend-agnostic: they describe topology,
+strategy and latency, and get a wired :class:`PubSubNetwork` back.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.broker.base import BrokerConfig
+from repro.broker.network import PubSubNetwork
+from repro.runtime.factory import RuntimeFactory
+from repro.topology.graph import BrokerGraph
+
+
+def build_network(
+    graph: BrokerGraph,
+    strategy: str = "covering",
+    latency: Any = None,
+    runtime_factory: Optional[RuntimeFactory] = None,
+    config: Optional[BrokerConfig] = None,
+) -> PubSubNetwork:
+    """A :class:`PubSubNetwork` on the chosen backend.
+
+    With ``runtime_factory=None`` this is exactly
+    ``PubSubNetwork(graph, strategy=strategy, latency=latency, ...)`` —
+    the simulator default every experiment has always used.  Otherwise
+    the factory is called once with the experiment's latency model and
+    the resulting runtime is handed to the network.
+    """
+    if runtime_factory is None:
+        kwargs = {} if latency is None else {"latency": latency}
+        return PubSubNetwork(graph, strategy=strategy, config=config, **kwargs)
+    return PubSubNetwork(
+        graph, strategy=strategy, config=config, runtime=runtime_factory(latency=latency)
+    )

@@ -3,7 +3,7 @@
 The paper's model is failure-free; this scenario family probes what the
 reproduction adds on top of it — broker crash/restart with routing-state
 recovery (:mod:`repro.broker.recovery`), durable subscriptions, and
-deterministic fault schedules (:class:`repro.sim.network.FaultModel`).
+deterministic fault schedules (:class:`repro.runtime.faults.FaultModel`).
 Two scenarios:
 
 * **crash/restart** (:func:`run_crash_restart`) — a durable subscriber's
@@ -27,16 +27,17 @@ Two scenarios:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
-from repro.broker.network import PubSubNetwork
 from repro.broker.recovery import encode_table
+from repro.experiments.backends import build_network
 from repro.filters.filter import Filter
 from repro.messages.base import MessageKind
 from repro.metrics.blackout import measure_node_loss_blackout
 from repro.metrics.qos import check_completeness, check_fifo, check_no_duplicates
 from repro.metrics.recovery import RecoveryReport, dropped_by_reason, recovery_report
-from repro.sim.network import FaultModel
+from repro.runtime.factory import RuntimeFactory
+from repro.runtime.faults import FaultModel
 from repro.sim.rng import DeterministicRandom
 from repro.topology.builders import line_topology
 
@@ -149,11 +150,17 @@ class FailureScheduleResult:
         return self.crash_restart.format_text() + "\n" + self.partition.format_text()
 
 
-def run_crash_restart(config: FailureScheduleConfig = FailureScheduleConfig()) -> CrashRestartResult:
+def run_crash_restart(
+    config: FailureScheduleConfig = FailureScheduleConfig(),
+    runtime_factory: Optional[RuntimeFactory] = None,
+) -> CrashRestartResult:
     """Crash a border broker mid-workload; fail over, restart, re-home."""
     edge = "B{}".format(config.brokers)
-    network = PubSubNetwork(
-        line_topology(config.brokers), strategy="covering", latency=config.latency
+    network = build_network(
+        line_topology(config.brokers),
+        strategy="covering",
+        latency=config.latency,
+        runtime_factory=runtime_factory,
     )
     network.enable_recovery()
 
@@ -232,6 +239,10 @@ def run_crash_restart(config: FailureScheduleConfig = FailureScheduleConfig()) -
         deliveries_lost=node_loss.lost_count,
         redelivered=redelivered,
     )
+    counterparts_collected = not any(
+        broker.has_counterparts() for broker in network.brokers.values()
+    )
+    network.close()
     return CrashRestartResult(
         delivered_total=len(consumer.received) + len(late.received),
         expected_total=2 * 3 * config.notifications_per_phase,
@@ -240,16 +251,22 @@ def run_crash_restart(config: FailureScheduleConfig = FailureScheduleConfig()) -
         complete=complete,
         no_duplicates=no_duplicates,
         fifo=fifo,
-        counterpart_garbage_collected=not any(
-            broker.has_counterparts() for broker in network.brokers.values()
-        ),
+        counterpart_garbage_collected=counterparts_collected,
         report=report,
     )
 
 
-def run_partition(config: FailureScheduleConfig = FailureScheduleConfig()) -> PartitionResult:
+def run_partition(
+    config: FailureScheduleConfig = FailureScheduleConfig(),
+    runtime_factory: Optional[RuntimeFactory] = None,
+) -> PartitionResult:
     """Drop notifications to a plain subscriber inside a scheduled window."""
-    network = PubSubNetwork(line_topology(3), strategy="covering", latency=config.latency)
+    network = build_network(
+        line_topology(3),
+        strategy="covering",
+        latency=config.latency,
+        runtime_factory=runtime_factory,
+    )
     fault = FaultModel(DeterministicRandom(config.seed))
     for link in network.links.values():
         link.fault_model = fault
@@ -282,6 +299,7 @@ def run_partition(config: FailureScheduleConfig = FailureScheduleConfig()) -> Pa
 
     delivered = len(consumer.received)
     dropped = dropped_by_reason(network.trace, kind=MessageKind.NOTIFICATION)
+    network.close()
     return PartitionResult(
         published=total,
         delivered=delivered,
@@ -290,11 +308,14 @@ def run_partition(config: FailureScheduleConfig = FailureScheduleConfig()) -> Pa
     )
 
 
-def run(config: FailureScheduleConfig = FailureScheduleConfig()) -> FailureScheduleResult:
+def run(
+    config: FailureScheduleConfig = FailureScheduleConfig(),
+    runtime_factory: Optional[RuntimeFactory] = None,
+) -> FailureScheduleResult:
     """Execute the whole scenario family."""
     return FailureScheduleResult(
-        crash_restart=run_crash_restart(config),
-        partition=run_partition(config),
+        crash_restart=run_crash_restart(config, runtime_factory),
+        partition=run_partition(config, runtime_factory),
     )
 
 

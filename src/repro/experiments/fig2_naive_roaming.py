@@ -22,11 +22,12 @@ delivers the event exactly once in both cases.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.baselines.naive_roaming import NaiveRoamingClient
 from repro.broker.client import Client
-from repro.broker.network import PubSubNetwork
+from repro.experiments.backends import build_network
+from repro.runtime.factory import RuntimeFactory
 from repro.topology.builders import line_topology
 
 #: Filter used by the roaming consumer in all cases.
@@ -80,7 +81,11 @@ class Fig2Result:
 
     def format_text(self) -> str:
         """Render the outcome matrix."""
-        lines = ["{:<18} {:<12} {:>9} {:>10} {:>7}".format("timing", "mechanism", "delivered", "duplicates", "missed")]
+        lines = [
+            "{:<18} {:<12} {:>9} {:>10} {:>7}".format(
+                "timing", "mechanism", "delivered", "duplicates", "missed"
+            )
+        ]
         for case in self.cases:
             lines.append(
                 "{:<18} {:<12} {:>9} {:>10} {:>7}".format(
@@ -90,9 +95,19 @@ class Fig2Result:
         return "\n".join(lines)
 
 
-def _run_naive(case: str, brokers: int, latency: float) -> CaseResult:
+def _run_naive(
+    case: str,
+    brokers: int,
+    latency: float,
+    runtime_factory: Optional[RuntimeFactory] = None,
+) -> CaseResult:
     """The naive baseline under flooding for one timing."""
-    network = PubSubNetwork(line_topology(brokers), strategy="flooding", latency=latency)
+    network = build_network(
+        line_topology(brokers),
+        strategy="flooding",
+        latency=latency,
+        runtime_factory=runtime_factory,
+    )
     producer = network.add_client("producer", "B1")
     roamer = NaiveRoamingClient("roamer", EVENT_FILTER, variant=NaiveRoamingClient.ABRUPT)
 
@@ -117,12 +132,25 @@ def _run_naive(case: str, brokers: int, latency: float) -> CaseResult:
     delivered = len(identities)
     duplicates = len(roamer.duplicate_identities())
     missed = 1 if not identities else 0
-    return CaseResult(name=case, mechanism="naive", delivered=delivered, duplicates=duplicates, missed=missed)
+    network.close()
+    return CaseResult(
+        name=case, mechanism="naive", delivered=delivered, duplicates=duplicates, missed=missed
+    )
 
 
-def _run_relocation(case: str, brokers: int, latency: float) -> CaseResult:
+def _run_relocation(
+    case: str,
+    brokers: int,
+    latency: float,
+    runtime_factory: Optional[RuntimeFactory] = None,
+) -> CaseResult:
     """The same timings with the Section 4 relocation protocol."""
-    network = PubSubNetwork(line_topology(brokers), strategy="covering", latency=latency)
+    network = build_network(
+        line_topology(brokers),
+        strategy="covering",
+        latency=latency,
+        runtime_factory=runtime_factory,
+    )
     producer = network.add_client("producer", "B1")
     producer.advertise(EVENT_FILTER)
     consumer = Client("roamer")
@@ -150,6 +178,7 @@ def _run_relocation(case: str, brokers: int, latency: float) -> CaseResult:
         counts[identity] = counts.get(identity, 0) + 1
     duplicates = sum(1 for count in counts.values() if count > 1)
     missed = 1 if not identities else 0
+    network.close()
     return CaseResult(
         name=case,
         mechanism="relocation",
@@ -159,12 +188,16 @@ def _run_relocation(case: str, brokers: int, latency: float) -> CaseResult:
     )
 
 
-def run(brokers: int = 6, latency: float = 0.2) -> Fig2Result:
+def run(
+    brokers: int = 6,
+    latency: float = 0.2,
+    runtime_factory: Optional[RuntimeFactory] = None,
+) -> Fig2Result:
     """Reproduce the Figure 2 anomalies and their fix."""
     cases: List[CaseResult] = []
     for case in ("duplicate-timing", "miss-timing"):
-        cases.append(_run_naive(case, brokers, latency))
-        cases.append(_run_relocation(case, brokers, latency))
+        cases.append(_run_naive(case, brokers, latency, runtime_factory))
+        cases.append(_run_relocation(case, brokers, latency, runtime_factory))
     return Fig2Result(cases=cases)
 
 

@@ -19,14 +19,17 @@ instant were delivered.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.baselines.flooding_client_filter import FloodingLocationConsumer
 from repro.baselines.resubscribe import ResubscribingLocationConsumer
 from repro.broker.network import PubSubNetwork
 from repro.core.ploc import MovementGraph
+from repro.experiments.backends import build_network
 from repro.filters.constraints import Equals
 from repro.filters.filter import Filter
 from repro.metrics.blackout import BlackoutReport, measure_blackout
+from repro.runtime.factory import RuntimeFactory
 from repro.topology.builders import line_topology
 
 
@@ -42,7 +45,11 @@ class Fig3Result:
     @property
     def routed_blackout(self) -> float:
         """Measured blackout (first delivery delay) under routed re-subscription."""
-        return self.routed.blackout_duration if self.routed.blackout_duration is not None else float("inf")
+        return (
+            self.routed.blackout_duration
+            if self.routed.blackout_duration is not None
+            else float("inf")
+        )
 
     @property
     def flooding_blackout(self) -> float:
@@ -85,7 +92,9 @@ class Fig3Result:
         return "\n".join(lines)
 
 
-def _steady_publisher(network: PubSubNetwork, producer, location: str, interval: float, end: float) -> None:
+def _steady_publisher(
+    network: PubSubNetwork, producer, location: str, interval: float, end: float
+) -> None:
     """Schedule a steady stream of matching notifications from time 0 to *end*."""
     simulator = network.simulator
     time = 0.0
@@ -106,6 +115,7 @@ def run(
     latency: float = 0.5,
     publish_interval: float = 0.1,
     horizon: float = 12.0,
+    runtime_factory: Optional[RuntimeFactory] = None,
 ) -> Fig3Result:
     """Measure the blackout of both mechanisms on a line of *brokers* brokers."""
     propagation_delay = (brokers - 1) * latency
@@ -113,7 +123,12 @@ def run(
     location = "room-1"
 
     # --- Figure 3a: routed (simple routing) re-subscription -----------------
-    routed_network = PubSubNetwork(line_topology(brokers), strategy="simple", latency=latency)
+    routed_network = build_network(
+        line_topology(brokers),
+        strategy="simple",
+        latency=latency,
+        runtime_factory=runtime_factory,
+    )
     routed_producer = routed_network.add_client("producer", "B{}".format(brokers))
     routed_producer.advertise({"service": "demo"})
     consumer = ResubscribingLocationConsumer("consumer", {"service": "demo"})
@@ -133,8 +148,15 @@ def run(
         window_end=horizon,
     )
 
+    routed_network.close()
+
     # --- Figure 3b: flooding with client-side filtering ----------------------
-    flooding_network = PubSubNetwork(line_topology(brokers), strategy="flooding", latency=latency)
+    flooding_network = build_network(
+        line_topology(brokers),
+        strategy="flooding",
+        latency=latency,
+        runtime_factory=runtime_factory,
+    )
     flooding_producer = flooding_network.add_client("producer", "B{}".format(brokers))
     rooms = MovementGraph.line(["room-0", "room-1", "room-2"])
     flooding_consumer = FloodingLocationConsumer(
@@ -155,6 +177,7 @@ def run(
         window_start=subscription_time_flooding - 2 * propagation_delay,
         window_end=horizon,
     )
+    flooding_network.close()
 
     return Fig3Result(
         routed=routed_report,

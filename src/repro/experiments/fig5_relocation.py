@@ -19,9 +19,10 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.broker.client import Client
-from repro.broker.network import PubSubNetwork
+from repro.experiments.backends import build_network
 from repro.filters.filter import Filter
 from repro.metrics.qos import check_completeness, check_fifo, check_no_duplicates
+from repro.runtime.factory import RuntimeFactory
 from repro.topology.graph import BrokerGraph
 
 
@@ -96,6 +97,7 @@ def run(
     producers: int = 1,
     latency: float = 0.05,
     notifications_per_phase: int = 5,
+    runtime_factory: Optional[RuntimeFactory] = None,
 ) -> Fig5Result:
     """Execute the Figure 5 walk-through with one or two producers."""
     if producers not in (1, 2):
@@ -103,7 +105,9 @@ def run(
     graph = figure5_topology()
     if producers == 2:
         graph.add_edge("B3", "B9")
-    network = PubSubNetwork(graph, strategy="covering", latency=latency)
+    network = build_network(
+        graph, strategy="covering", latency=latency, runtime_factory=runtime_factory
+    )
 
     producer_clients: List[Client] = []
     attachments = [("P1", "B3")] if producers == 1 else [("P1", "B3"), ("P2", "B9")]
@@ -146,6 +150,8 @@ def run(
     duplicates = check_no_duplicates(network.trace, "C")
     fifo = check_fifo(network.trace, "C")
 
+    counterparts_collected = not network.broker("B6").has_counterparts()
+    network.close()
     return Fig5Result(
         producers=producers,
         delivered_before_move=delivered_before_move,
@@ -156,7 +162,7 @@ def run(
         complete=completeness.complete,
         no_duplicates=duplicates.clean,
         fifo=fifo.ordered,
-        counterpart_garbage_collected=not network.broker("B6").has_counterparts(),
+        counterpart_garbage_collected=counterparts_collected,
     )
 
 

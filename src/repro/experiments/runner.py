@@ -4,6 +4,11 @@
 table and figure and prints one section per artefact, including whether
 the regenerated values match the paper (for the exact tables) or show the
 expected qualitative shape (for the measured figures).
+
+``--backend {sim,aio-memory,aio-tcp}`` selects the runtime backend: the
+discrete-event simulator (default), or the virtual-time asyncio runtime
+over in-memory byte pipes / loopback TCP.  Results are identical on all
+three — the backend-parity CI gate asserts exactly that.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ from repro.experiments import (
     table3_endpoints,
     table4_adaptive,
 )
+from repro.runtime.factory import BACKENDS, RuntimeFactory, runtime_factory
 
 
 @dataclass
@@ -34,14 +40,19 @@ class ExperimentOutcome:
     text: str
 
 
-def run_all(quick: bool = False) -> List[ExperimentOutcome]:
-    """Execute all experiments; *quick* shrinks the Figure 9 horizon."""
+def run_all(quick: bool = False, backend: str = "sim") -> List[ExperimentOutcome]:
+    """Execute all experiments; *quick* shrinks the Figure 9 horizon.
+
+    *backend* selects the runtime every experiment runs on; ``"sim"``
+    keeps the historical default code path (no factory threaded at all).
+    """
+    factory: Optional[RuntimeFactory] = None if backend == "sim" else runtime_factory(backend)
     outcomes: List[ExperimentOutcome] = []
 
-    t1 = table1_ploc.run()
+    t1 = table1_ploc.run(runtime_factory=factory)
     outcomes.append(ExperimentOutcome("Table 1 (ploc values)", t1.matches_paper, t1.format_text()))
 
-    t2 = table2_filters.run()
+    t2 = table2_filters.run(runtime_factory=factory)
     outcomes.append(
         ExperimentOutcome(
             "Table 2 (per-hop filters, a -> b -> d)",
@@ -50,17 +61,21 @@ def run_all(quick: bool = False) -> List[ExperimentOutcome]:
         )
     )
 
-    t3 = table3_endpoints.run()
+    t3 = table3_endpoints.run(runtime_factory=factory)
     outcomes.append(
-        ExperimentOutcome("Table 3 (trivial / flooding end points)", t3.matches_paper, t3.format_text())
+        ExperimentOutcome(
+            "Table 3 (trivial / flooding end points)", t3.matches_paper, t3.format_text()
+        )
     )
 
-    t4 = table4_adaptive.run()
+    t4 = table4_adaptive.run(runtime_factory=factory)
     outcomes.append(
-        ExperimentOutcome("Table 4 / Figure 8 (adaptive levels)", t4.matches_paper, t4.format_text())
+        ExperimentOutcome(
+            "Table 4 / Figure 8 (adaptive levels)", t4.matches_paper, t4.format_text()
+        )
     )
 
-    f2 = fig2_naive_roaming.run()
+    f2 = fig2_naive_roaming.run(runtime_factory=factory)
     outcomes.append(
         ExperimentOutcome(
             "Figure 2 (naive roaming anomalies)",
@@ -69,13 +84,13 @@ def run_all(quick: bool = False) -> List[ExperimentOutcome]:
         )
     )
 
-    f3 = fig3_blackout.run()
+    f3 = fig3_blackout.run(runtime_factory=factory)
     outcomes.append(
         ExperimentOutcome("Figure 3 (blackout periods)", f3.shows_expected_shape, f3.format_text())
     )
 
-    f5_single = fig5_relocation.run(producers=1)
-    f5_multi = fig5_relocation.run(producers=2)
+    f5_single = fig5_relocation.run(producers=1, runtime_factory=factory)
+    f5_multi = fig5_relocation.run(producers=2, runtime_factory=factory)
     outcomes.append(
         ExperimentOutcome(
             "Figure 5 (relocation walk-through)",
@@ -84,13 +99,17 @@ def run_all(quick: bool = False) -> List[ExperimentOutcome]:
         )
     )
 
-    config = fig9_message_counts.Fig9Config(horizon=30.0) if quick else fig9_message_counts.Fig9Config()
-    f9 = fig9_message_counts.run(config)
+    config = (
+        fig9_message_counts.Fig9Config(horizon=30.0) if quick else fig9_message_counts.Fig9Config()
+    )
+    f9 = fig9_message_counts.run(config, runtime_factory=factory)
     outcomes.append(
-        ExperimentOutcome("Figure 9 (total message counts)", f9.shows_expected_shape, f9.format_text())
+        ExperimentOutcome(
+            "Figure 9 (total message counts)", f9.shows_expected_shape, f9.format_text()
+        )
     )
 
-    fs = failure_schedule.run()
+    fs = failure_schedule.run(runtime_factory=factory)
     outcomes.append(
         ExperimentOutcome(
             "Failure schedule (crash/restart + partition)", fs.passed, fs.format_text()
@@ -119,7 +138,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Command-line entry point."""
     argv = argv if argv is not None else sys.argv[1:]
     quick = "--quick" in argv
-    outcomes = run_all(quick=quick)
+    backend = "sim"
+    if "--backend" in argv:
+        index = argv.index("--backend")
+        if index + 1 >= len(argv):
+            print("--backend requires a value: one of {}".format(", ".join(BACKENDS)))
+            return 2
+        backend = argv[index + 1]
+        if backend not in BACKENDS:
+            print("unknown backend {!r}; expected one of {}".format(backend, ", ".join(BACKENDS)))
+            return 2
+    outcomes = run_all(quick=quick, backend=backend)
     print(format_report(outcomes))
     return 0 if all(outcome.passed for outcome in outcomes) else 1
 

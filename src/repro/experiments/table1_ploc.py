@@ -67,8 +67,17 @@ class Table1Result:
         return format_ploc_table(self.computed, locations=["a", "b", "c", "d"])
 
 
-def run(max_steps: int = 3, graph: Optional[MovementGraph] = None) -> Table1Result:
-    """Regenerate Table 1 (optionally for a different movement graph)."""
+def run(
+    max_steps: int = 3,
+    graph: Optional[MovementGraph] = None,
+    runtime_factory: object = None,
+) -> Table1Result:
+    """Regenerate Table 1 (optionally for a different movement graph).
+
+    *runtime_factory* is accepted for signature uniformity with the
+    network-driven experiments and ignored: the table is pure
+    computation, identical on every backend.
+    """
     graph = graph or MovementGraph.paper_example()
     ploc = PlocFunction(graph)
     computed = ploc.table(max_steps)

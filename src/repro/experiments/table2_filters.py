@@ -23,11 +23,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence
 
-from repro.broker.network import PubSubNetwork
 from repro.core.adaptivity import UncertaintyPlan
 from repro.core.location_filter import MYLOC
 from repro.core.logical import location_sets_chain
 from repro.core.ploc import MovementGraph
+from repro.experiments.backends import build_network
+from repro.runtime.factory import RuntimeFactory
 from repro.topology.builders import line_topology
 
 #: The values printed in the paper's Table 2 (keyed by time step, then hop).
@@ -72,10 +73,19 @@ class Table2Result:
 
 
 def _operational_chain(
-    graph: MovementGraph, plan: UncertaintyPlan, itinerary: Sequence[str], hops: int
+    graph: MovementGraph,
+    plan: UncertaintyPlan,
+    itinerary: Sequence[str],
+    hops: int,
+    runtime_factory: Optional[RuntimeFactory] = None,
 ) -> Dict[int, List[FrozenSet[str]]]:
     """Read the concrete per-hop location sets out of a running broker network."""
-    network = PubSubNetwork(line_topology(hops + 1), strategy="covering", latency=0.001)
+    network = build_network(
+        line_topology(hops + 1),
+        strategy="covering",
+        latency=0.001,
+        runtime_factory=runtime_factory,
+    )
     producer = network.add_client("producer", "B{}".format(hops + 1))
     producer.advertise({"service": "demo"})
     consumer = network.add_client("consumer", "B1")
@@ -98,6 +108,7 @@ def _operational_chain(
             state = broker.logical_state_for("consumer", subscription_id)
             sets.append(state.location_set() if state is not None else frozenset())
         out[step] = sets
+    network.close()
     return out
 
 
@@ -105,6 +116,7 @@ def run(
     graph: Optional[MovementGraph] = None,
     itinerary: Sequence[str] = PAPER_ITINERARY,
     hops: int = 3,
+    runtime_factory: Optional[RuntimeFactory] = None,
 ) -> Table2Result:
     """Regenerate Table 2 both analytically and from the broker network."""
     graph = graph or MovementGraph.paper_example()
@@ -113,7 +125,7 @@ def run(
         step: location_sets_chain(graph, plan, location, hops)
         for step, location in enumerate(itinerary)
     }
-    operational = _operational_chain(graph, plan, itinerary, hops)
+    operational = _operational_chain(graph, plan, itinerary, hops, runtime_factory)
     return Table2Result(analytical=analytical, operational=operational, reference=PAPER_TABLE_2)
 
 

@@ -63,7 +63,10 @@ class Table4Result:
     @property
     def matches_paper(self) -> bool:
         """``True`` when the levels and the table match the paper."""
-        return list(self.levels[: len(PAPER_LEVELS)]) == list(PAPER_LEVELS) and self.table == PAPER_TABLE_4
+        return (
+            list(self.levels[: len(PAPER_LEVELS)]) == list(PAPER_LEVELS)
+            and self.table == PAPER_TABLE_4
+        )
 
     def format_text(self) -> str:
         """Render the Figure 8 time line and the Table 4 ploc values."""
@@ -86,8 +89,14 @@ def run(
     hop_delays: Sequence[float] = PAPER_HOP_DELAYS,
     graph: Optional[MovementGraph] = None,
     table_hops: int = 3,
+    runtime_factory: object = None,
 ) -> Table4Result:
-    """Regenerate Figure 8's level assignment and Table 4's ploc values."""
+    """Regenerate Figure 8's level assignment and Table 4's ploc values.
+
+    *runtime_factory* is accepted for signature uniformity with the
+    network-driven experiments and ignored: the table is pure
+    computation, identical on every backend.
+    """
     graph = graph or MovementGraph.paper_example()
     levels = adaptive_levels(dwell_time, hop_delays)
     plan = UncertaintyPlan(levels=levels, name="adaptive")

@@ -151,7 +151,8 @@ class Filter:
         if not self._constraints:
             return "Filter(<all>)"
         parts = ", ".join(
-            "{}{}".format(name, _render_constraint(c)) for name, c in sorted(self._constraints.items())
+            "{}{}".format(name, _render_constraint(c))
+            for name, c in sorted(self._constraints.items())
         )
         return "Filter({})".format(parts)
 
@@ -216,7 +217,8 @@ def _render_constraint(constraint: Constraint) -> str:
     if op == "eq":
         return "={!r}".format(constraint.value)  # type: ignore[attr-defined]
     if op == "in":
-        return "∈{{{}}}".format(", ".join(repr(v) for v in constraint.values))  # type: ignore[attr-defined]
+        values = ", ".join(repr(v) for v in constraint.values)  # type: ignore[attr-defined]
+        return "∈{{{}}}".format(values)
     if op in ("any", "exists"):
         return ":{}".format(op)
     return " {} {}".format(op, ", ".join(repr(v) for v in key[1:]))

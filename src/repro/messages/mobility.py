@@ -87,7 +87,14 @@ class FetchRequest(Message):
 
     kind = MessageKind.MOBILITY
 
-    __slots__ = ("client_id", "subscription_id", "filter", "last_sequence", "junction", "new_border")
+    __slots__ = (
+        "client_id",
+        "subscription_id",
+        "filter",
+        "last_sequence",
+        "junction",
+        "new_border",
+    )
 
     def __init__(
         self,

@@ -36,7 +36,11 @@ class BlackoutReport:
     @property
     def missed(self) -> List[Tuple[float, Identity]]:
         """Matching notifications (publish time, identity) never delivered."""
-        return [(t, identity) for t, identity in self.matching_published if identity not in self.delivered]
+        return [
+            (t, identity)
+            for t, identity in self.matching_published
+            if identity not in self.delivered
+        ]
 
     @property
     def missed_count(self) -> int:

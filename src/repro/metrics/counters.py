@@ -41,7 +41,9 @@ class MessageCounter:
     def __init__(self, trace: TraceRecorder) -> None:
         self.trace = trace
 
-    def breakdown(self, until: Optional[float] = None, since: Optional[float] = None) -> MessageBreakdown:
+    def breakdown(
+        self, until: Optional[float] = None, since: Optional[float] = None
+    ) -> MessageBreakdown:
         """Totals per message kind within a time window."""
         result = MessageBreakdown()
         for record in self.trace.link_messages(until=until, since=since):

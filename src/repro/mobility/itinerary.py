@@ -59,7 +59,9 @@ class LogicalItinerary:
         return cls(LogicalStep(time=t, location=loc) for t, loc in pairs)
 
     @classmethod
-    def uniform(cls, locations: Sequence[str], dwell_time: float, start: float = 0.0) -> "LogicalItinerary":
+    def uniform(
+        cls, locations: Sequence[str], dwell_time: float, start: float = 0.0
+    ) -> "LogicalItinerary":
         """Visit *locations* in order, staying *dwell_time* at each."""
         if dwell_time <= 0:
             raise ValueError("dwell time must be positive")
@@ -135,7 +137,9 @@ class RoamingItinerary:
 
     def brokers_visited(self) -> List[str]:
         """Brokers in attach order (with repeats)."""
-        return [step.broker for step in self.steps if step.action == RoamingStep.ATTACH and step.broker]
+        return [
+            step.broker for step in self.steps if step.action == RoamingStep.ATTACH and step.broker
+        ]
 
     def connected_windows(self) -> List[Tuple[float, Optional[float], str]]:
         """``(attach_time, detach_time_or_None, broker)`` windows."""

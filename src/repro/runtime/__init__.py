@@ -25,6 +25,16 @@ See ``docs/architecture.md`` for the layering rules (notably: no
 or ``repro.dispatch``; ``tests/test_layering.py`` enforces this).
 """
 
+from repro.runtime.factory import BACKENDS, RuntimeFactory, make_runtime, runtime_factory
+from repro.runtime.faults import FaultModel
+from repro.runtime.latency import (
+    DEFAULT_LINK_LATENCY,
+    FixedLatency,
+    LatencyModel,
+    LatencySpec,
+    UniformLatency,
+    resolve_latency,
+)
 from repro.runtime.protocols import Channel, Clock, Runtime, ScheduledCall
 from repro.runtime.trace import (
     DeliveryRecord,
@@ -34,12 +44,23 @@ from repro.runtime.trace import (
 )
 
 __all__ = [
+    "BACKENDS",
     "Channel",
     "Clock",
-    "Runtime",
-    "ScheduledCall",
+    "DEFAULT_LINK_LATENCY",
     "DeliveryRecord",
+    "FaultModel",
+    "FixedLatency",
+    "LatencyModel",
+    "LatencySpec",
     "LinkRecord",
     "PublishRecord",
+    "Runtime",
+    "RuntimeFactory",
+    "ScheduledCall",
     "TraceRecorder",
+    "UniformLatency",
+    "make_runtime",
+    "resolve_latency",
+    "runtime_factory",
 ]

@@ -21,21 +21,36 @@ Execution model: client operations (subscribe, publish, move_to, ...)
 are plain synchronous calls made while the loop is parked; they enqueue
 frames on the channels.  :meth:`AioRuntime.settle` then spins the loop
 until the network is quiescent (no frame in flight anywhere), mirroring
-the simulator's ``drain``.  An in-flight counter is incremented at send
-time and decremented after the receiving broker finished processing the
-message — including any frames that processing sent, so quiescence means
-the whole causal cascade has completed.
+the simulator's ``drain``.  An in-flight counter is incremented when a
+frame enters the transport and decremented after the receiving broker
+finished processing the message — including any frames that processing
+sent, so quiescence means the whole causal cascade has completed.
 
-The clock is the loop's monotonic clock, rebased to zero at runtime
-creation.  ``settle`` does not wait for *timers* (the simulator's drain
-runs all future events; real time cannot be fast-forwarded) — use
-:meth:`AioRuntime.run_until` to let scheduled callbacks fire.
+Two clock modes:
+
+* **wall clock** (default) — the loop's monotonic clock, rebased to
+  zero at runtime creation.  ``settle`` does not wait for *timers*
+  (real time cannot be fast-forwarded); use :meth:`AioRuntime.run_until`
+  to let scheduled callbacks fire after genuinely sleeping.
+* **virtual time** (``virtual_time=True``) — the runtime owns a
+  manually advanced clock backed by its own timer heap
+  (:class:`VirtualClock`).  ``settle`` alternates *draining* the network
+  to frame quiescence with *jumping* the clock to the next scheduled
+  call, until both the network and the timer queue are quiescent —
+  exactly the simulator's ``drain`` semantics, including fast-forwarded
+  itineraries, blackout windows and failure schedules.  Channels
+  additionally apply the same latency models as the simulator's links
+  (delivery of an encoded frame is itself a scheduled call), so delivery
+  *timestamps*, not just delivery orders, line up with the simulator
+  run for run — the property the backend-parity suite pins.
 """
 
 from __future__ import annotations
 
 import asyncio
 import functools
+import heapq
+import itertools
 from typing import Any, Callable, List, Optional
 
 from repro.messages.base import Message
@@ -45,7 +60,42 @@ from repro.messages.wire import (
     decode_message,
     encode_frame,
 )
+from repro.runtime.faults import FaultModel
+from repro.runtime.latency import (
+    DEFAULT_LINK_LATENCY,
+    LatencyModel,
+    LatencySpec,
+    resolve_latency,
+)
 from repro.runtime.trace import TraceRecorder
+
+
+class _WallTimer:
+    """A cancellable handle for a wall-clock loop timer.
+
+    Wraps :class:`asyncio.TimerHandle` behind the
+    :class:`~repro.runtime.protocols.ScheduledCall` surface (idempotent
+    ``cancel()`` plus a ``cancelled`` attribute), so scenario code sees
+    the same handle shape on every backend.
+    """
+
+    __slots__ = ("_handle", "cancelled", "label")
+
+    def __init__(self, handle: asyncio.TimerHandle, label: str = "") -> None:
+        self._handle = handle
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Prevent the scheduled callback from running (idempotent)."""
+        if self.cancelled:
+            return
+        self.cancelled = True
+        self._handle.cancel()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return "_WallTimer({}, {})".format(self.label or self._handle, state)
 
 
 class AioClock:
@@ -67,13 +117,15 @@ class AioClock:
         *args: Any,
         label: str = "",
         **kwargs: Any,
-    ) -> asyncio.TimerHandle:
+    ) -> _WallTimer:
         """Run ``callback`` *delay* seconds from now (loop timer)."""
         if delay < 0:
-            raise ValueError("cannot schedule {!r} in the past".format(label or callback))
+            raise ValueError("cannot schedule {!r} in the past (delay={})".format(
+                label or callback, delay
+            ))
         if kwargs:
             callback = functools.partial(callback, **kwargs)
-        return self._loop.call_later(delay, callback, *args)
+        return _WallTimer(self._loop.call_later(delay, callback, *args), label=label)
 
     def schedule_at(
         self,
@@ -82,7 +134,7 @@ class AioClock:
         *args: Any,
         label: str = "",
         **kwargs: Any,
-    ) -> asyncio.TimerHandle:
+    ) -> _WallTimer:
         """Run ``callback`` at absolute runtime time *time*."""
         if time < self.now:
             raise ValueError(
@@ -92,7 +144,128 @@ class AioClock:
             )
         if kwargs:
             callback = functools.partial(callback, **kwargs)
-        return self._loop.call_at(self._start + time, callback, *args)
+        return _WallTimer(self._loop.call_at(self._start + time, callback, *args), label=label)
+
+
+class VirtualTimer:
+    """One scheduled call on the :class:`VirtualClock` heap.
+
+    Mirrors the simulator's ``Event``: absolute time, insertion order as
+    the tie-break, lazy cancellation.  Satisfies the
+    :class:`~repro.runtime.protocols.ScheduledCall` protocol.
+    """
+
+    __slots__ = ("time", "order", "callback", "args", "kwargs", "cancelled", "label")
+
+    def __init__(
+        self,
+        time: float,
+        order: int,
+        callback: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.order = order
+        self.callback = callback
+        self.args = args
+        self.kwargs = kwargs
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Prevent the scheduled callback from running (idempotent)."""
+        self.cancelled = True
+
+    def _run(self) -> None:
+        self.callback(*self.args, **self.kwargs)
+
+    def __lt__(self, other: "VirtualTimer") -> bool:
+        return (self.time, self.order) < (other.time, other.order)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return "VirtualTimer(t={:.6f}, {}, {})".format(
+            self.time, self.label or self.callback, state
+        )
+
+
+class VirtualClock:
+    """A manually advanced clock: a timer heap with (time, order) order.
+
+    ``now`` only moves when the runtime's drive loop jumps it to the
+    next scheduled call — the asyncio loop's real time is never
+    consulted.  Scheduling semantics mirror the simulator exactly: a
+    callback may be scheduled at the current instant (it runs after the
+    calls already queued for that instant), never in the past, and ties
+    are broken by insertion order so runs are fully deterministic.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: List[VirtualTimer] = []
+        self._order = itertools.count()
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+        **kwargs: Any,
+    ) -> VirtualTimer:
+        """Run ``callback`` *delay* virtual seconds from now."""
+        if delay < 0:
+            raise ValueError(
+                "cannot schedule {!r} in the past (delay={})".format(label or callback, delay)
+            )
+        return self.schedule_at(self._now + delay, callback, *args, label=label, **kwargs)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+        **kwargs: Any,
+    ) -> VirtualTimer:
+        """Run ``callback`` at absolute virtual time *time* (``now`` allowed)."""
+        if time < self._now:
+            raise ValueError(
+                "cannot schedule {!r} in the past (time={} < now={})".format(
+                    label or callback, time, self._now
+                )
+            )
+        timer = VirtualTimer(float(time), next(self._order), callback, args, kwargs, label=label)
+        heapq.heappush(self._heap, timer)
+        return timer
+
+    def pending_timers(self) -> int:
+        """Number of scheduled, not-yet-cancelled calls."""
+        return sum(1 for timer in self._heap if not timer.cancelled)
+
+    # -- driving (runtime internal) -----------------------------------------
+    def _pop_due(self, limit: Optional[float]) -> Optional[VirtualTimer]:
+        """Pop the earliest live timer with ``time <= limit`` (None = no bound)."""
+        while self._heap:
+            timer = self._heap[0]
+            if timer.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if limit is not None and timer.time > limit:
+                return None
+            return heapq.heappop(self._heap)
+        return None
+
+    def _advance(self, time: float) -> None:
+        if time > self._now:
+            self._now = time
 
 
 class _BytePipe:
@@ -132,6 +305,16 @@ class AioChannel:
     transport; a reader task reassembles frames, decodes the message and
     invokes the delivery callback.  Per-channel FIFO order follows from
     the byte stream.
+
+    Under virtual time the channel behaves like the simulator's ``Link``:
+    each frame gets a latency sample and a FIFO-clamped delivery time,
+    and entering the transport is itself a scheduled call on the virtual
+    clock — so the frame's bytes hit the pipe (or socket) exactly when
+    the simulator would have delivered the message.  An optional
+    :class:`~repro.runtime.faults.FaultModel` is consulted at send time
+    with the same check order as the simulator's link (scheduled windows
+    first, then the iid drop/duplicate decisions), keeping RNG streams
+    identical across backends.
     """
 
     def __init__(
@@ -140,11 +323,18 @@ class AioChannel:
         source: str,
         target: str,
         deliver: Callable[[Message, "AioChannel"], None],
+        latency: Optional[LatencyModel] = None,
     ) -> None:
         self.runtime = runtime
         self.source = source
         self.target = target
         self._deliver = deliver
+        #: Latency model applied per frame (virtual-time mode only).
+        self.latency = latency
+        #: Optional fault injection, consulted at send time like the
+        #: simulator's link (assignable after construction, as the
+        #: failure experiments do).
+        self.fault_model: Optional[FaultModel] = None
         self.sent_count = 0
         self.delivered_count = 0
         self.dropped_count = 0
@@ -153,6 +343,8 @@ class AioChannel:
         #: time instead of being enqueued.
         self.down = False
         self._started = False
+        # FIFO clamp: delivery times on one channel never decrease.
+        self._last_delivery_time = runtime.clock.now
         # Memory transport state.
         self._pipe = _BytePipe()
         # TCP transport state.
@@ -173,19 +365,51 @@ class AioChannel:
         """Frame and enqueue *message* for FIFO delivery."""
         self.sent_count += 1
         runtime = self.runtime
+        now = runtime.clock.now
         if runtime.trace is not None:
-            runtime.trace.record_link(runtime.clock.now, self.source, self.target, message)
+            runtime.trace.record_link(now, self.source, self.target, message)
         if self.down:
             # Drop BEFORE the in-flight counter increments: a frame that
             # counts as in flight but is never read would make `settle`
             # wait for quiescence that can never come.
-            self.dropped_count += 1
-            if runtime.trace is not None:
-                runtime.trace.record_drop(
-                    runtime.clock.now, self.source, self.target, message, "broker-down"
-                )
+            self._drop(now, message, "broker-down")
             return
+        if self.fault_model is not None:
+            # Scheduled faults are checked first and consume no RNG draw,
+            # so a failure schedule leaves the iid fault stream intact.
+            down_reason = self.fault_model.link_down_reason(self.source, self.target, now)
+            if down_reason is not None:
+                self._drop(now, message, down_reason)
+                return
+            if self.fault_model.should_drop():
+                self._drop(now, message, "loss")
+                return
+        copies = 2 if (self.fault_model is not None and self.fault_model.should_duplicate()) else 1
         frame = encode_frame(message)
+        for _ in range(copies):
+            if runtime.virtual_time:
+                # One latency sample and FIFO clamp per copy — the exact
+                # send-time semantics of the simulator's Link.
+                delay = self.latency.sample() if self.latency is not None else 0.0
+                delivery_time = max(now + delay, self._last_delivery_time)
+                self._last_delivery_time = delivery_time
+                runtime.clock.schedule_at(
+                    delivery_time,
+                    self._feed_frame,
+                    frame,
+                    label="deliver {} on {}".format(type(message).__name__, self.name),
+                )
+            else:
+                self._feed_frame(frame)
+
+    def _drop(self, now: float, message: Message, reason: str) -> None:
+        self.dropped_count += 1
+        if self.runtime.trace is not None:
+            self.runtime.trace.record_drop(now, self.source, self.target, message, reason)
+
+    def _feed_frame(self, frame: bytes) -> None:
+        """Hand the encoded frame to the transport (it is now in flight)."""
+        runtime = self.runtime
         runtime._message_sent()
         if runtime.transport == "memory":
             self._pipe.feed(frame)
@@ -270,20 +494,47 @@ class AioChannel:
 
 
 class AioRuntime:
-    """Runtime backend executing brokers on an asyncio event loop."""
+    """Runtime backend executing brokers on an asyncio event loop.
+
+    With ``virtual_time=True`` the runtime owns a :class:`VirtualClock`
+    and ``settle``/``run_until`` gain the simulator's semantics: the
+    drive loop alternates between draining in-flight frames and jumping
+    the clock to the next scheduled call, one call at a time, until both
+    the network and the timer heap are quiescent (or, for ``run_until``,
+    until the next call lies beyond the horizon, whose time the clock
+    then takes).  *latency* (same spec as the sim backend: constant,
+    per-edge mapping, or factory) assigns each channel a latency model;
+    it requires virtual time — a wall-clock backend measures latency,
+    it cannot model it.
+    """
 
     def __init__(
         self,
         transport: str = "memory",
         host: str = "127.0.0.1",
         trace: Optional[TraceRecorder] = None,
+        virtual_time: bool = False,
+        latency: Optional[LatencySpec] = None,
     ) -> None:
         if transport not in ("memory", "tcp"):
             raise ValueError("transport must be 'memory' or 'tcp', got {!r}".format(transport))
+        if latency is not None and not virtual_time:
+            raise ValueError(
+                "a latency model requires virtual_time=True; "
+                "the wall-clock backend cannot fast-forward modelled delays"
+            )
         self.transport = transport
         self.host = host
+        self.virtual_time = virtual_time
         self.loop = asyncio.new_event_loop()
-        self._clock = AioClock(self.loop)
+        if virtual_time:
+            self._latency_spec: Optional[LatencySpec] = (
+                latency if latency is not None else DEFAULT_LINK_LATENCY
+            )
+            self._clock: Any = VirtualClock()
+        else:
+            self._latency_spec = None
+            self._clock = AioClock(self.loop)
         self._trace = trace if trace is not None else TraceRecorder()
         self._channels: List[AioChannel] = []
         self._in_flight = 0
@@ -298,7 +549,7 @@ class AioRuntime:
     # Runtime protocol
     # ------------------------------------------------------------------
     @property
-    def clock(self) -> AioClock:
+    def clock(self) -> Any:
         return self._clock
 
     @property
@@ -309,7 +560,10 @@ class AioRuntime:
         self, source: str, target: str, deliver: Callable[[Message, AioChannel], None]
     ) -> AioChannel:
         """Create the framed FIFO channel from *source* to *target*."""
-        channel = AioChannel(self, source, target, deliver)
+        latency = None
+        if self._latency_spec is not None:
+            latency = resolve_latency(self._latency_spec, source, target)
+        channel = AioChannel(self, source, target, deliver, latency=latency)
         self._channels.append(channel)
         return channel
 
@@ -319,8 +573,11 @@ class AioRuntime:
         Frames sent on a downed channel are dropped (and recorded in the
         trace with reason ``"broker-down"``) instead of enqueued — the
         byte-stream analogue of the simulator's
-        :meth:`~repro.sim.network.FaultModel.broker_down` windows.
-        Returns the number of channels toggled.
+        :meth:`~repro.runtime.faults.FaultModel.broker_down` windows.
+        Frames already in flight (or, under virtual time, already
+        latency-scheduled) still deliver, exactly like messages already
+        on a simulated link when its endpoint dies.  Returns the number
+        of channels toggled.
         """
         toggled = 0
         for channel in self._channels:
@@ -330,16 +587,34 @@ class AioRuntime:
         return toggled
 
     def settle(self, max_events: int = 1_000_000) -> int:
-        """Spin the loop until no frame is in flight anywhere.
+        """Run until no work remains.
 
-        Returns the number of messages delivered during this call.  The
-        *max_events* cap mirrors the simulator's drain limit and guards
-        against ping-pong message loops.
+        Wall clock: spin the loop until no frame is in flight anywhere.
+        Virtual time: additionally jump the clock through every scheduled
+        call (timers may enqueue frames and frames may schedule timers;
+        the loop runs until *both* queues are quiescent).  Returns the
+        number of messages delivered during this call; the *max_events*
+        cap mirrors the simulator's drain limit and guards against
+        ping-pong message loops.
         """
-        return self.loop.run_until_complete(self._drain(max_events))
+        if self.virtual_time:
+            return self.loop.run_until_complete(self._virtual_drive(None, max_events))
+        return self.loop.run_until_complete(self._settle_wall(max_events))
 
     def run_until(self, time: float) -> int:
-        """Run the loop (messages *and* timers) until the clock reaches *time*."""
+        """Advance execution (messages *and* timers) until *time*.
+
+        Virtual time: process every scheduled call with ``call.time <=
+        time`` — including calls those calls schedule — drain the frames
+        they produced, then set the clock to *time* (the simulator's
+        inclusive ``run_until``).  Wall clock: genuinely sleep the loop.
+        """
+        if self.virtual_time:
+            if time < self._clock.now:
+                raise ValueError(
+                    "run_until target {} is before current time {}".format(time, self._clock.now)
+                )
+            return self.loop.run_until_complete(self._virtual_drive(time, 1_000_000))
         delay = time - self._clock.now
         if delay > 0:
             self.loop.run_until_complete(self._run_for(delay))
@@ -389,8 +664,37 @@ class AioRuntime:
                 if error is not None:
                     raise error
 
-    async def _drain(self, max_events: int) -> int:
+    async def _settle_wall(self, max_events: int) -> int:
         await self._start_channels()
+        return await self._drain(max_events)
+
+    async def _virtual_drive(self, until: Optional[float], max_events: int) -> int:
+        """The virtual-time drive loop: drain frames, jump to the next call.
+
+        Scheduled calls execute strictly in (time, insertion order) —
+        the simulator's event ordering — and the network is drained to
+        quiescence after every single call, so a call's entire causal
+        cascade (frames it feeds, messages those deliveries send) is
+        either completed or latency-scheduled on the heap before the
+        next call runs.  With ``until=None`` the loop runs until both
+        queues are empty (settle); otherwise calls beyond *until* stay
+        scheduled and the clock finishes exactly at *until*.
+        """
+        await self._start_channels()
+        clock: VirtualClock = self._clock
+        delivered = 0
+        while True:
+            delivered += await self._drain(max_events - delivered)
+            timer = clock._pop_due(until)
+            if timer is None:
+                break
+            clock._advance(timer.time)
+            timer._run()
+        if until is not None:
+            clock._advance(until)
+        return delivered
+
+    async def _drain(self, max_events: int) -> int:
         self._drain_delivered = 0
         self._drain_cap = max_events
         try:
@@ -439,6 +743,9 @@ class AioRuntime:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return "AioRuntime(transport={}, channels={}, t={:.3f})".format(
-            self.transport, len(self._channels), self._clock.now
+        return "AioRuntime(transport={}, channels={}, t={:.3f}{})".format(
+            self.transport,
+            len(self._channels),
+            self._clock.now,
+            ", virtual" if self.virtual_time else "",
         )

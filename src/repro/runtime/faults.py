@@ -1,0 +1,110 @@
+"""Fault injection for channels (backend-neutral).
+
+:class:`FaultModel` describes *which* messages are lost or duplicated;
+*enforcing* it is the sending channel's job, so the model itself is
+independent of the backend.  The simulator's :class:`~repro.sim.network.Link`
+and the asyncio backend's :class:`~repro.runtime.aio.AioChannel` both
+consult an attached model at send time with identical check order
+(scheduled windows first — no RNG draw — then the iid drop and duplicate
+decisions), which keeps the RNG stream, and therefore entire failure
+runs, byte-identical across backends.
+
+Historically this lived in :mod:`repro.sim.network`, which still
+re-exports it for compatibility.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.rng import DeterministicRandom
+
+
+class FaultModel:
+    """Optional fault injection for robustness experiments.
+
+    Two fault families coexist:
+
+    * **iid faults** — *drop_probability* (a message silently disappears)
+      and *duplicate_probability* (a message is delivered twice), decided
+      per message from the seeded RNG.
+    * **scheduled faults** — deterministic windows driven by the
+      backend's clock: :meth:`partition` declares a directed link down
+      during ``[t_from, t_to)``, :meth:`broker_down` declares every link
+      into *and* out of a broker down during the interval.  Messages sent
+      into a downed link are dropped (and recorded in the trace with
+      reason ``"partition"`` / ``"broker-down"``) without consuming any
+      RNG draw, so a failure schedule never perturbs the iid fault
+      stream.
+
+    The default pub/sub and mobility experiments never use faults (the
+    paper's model is error-free); only the dedicated failure-injection
+    tests and the crash/restart scenario family do.
+    """
+
+    def __init__(
+        self,
+        rng: "DeterministicRandom",
+        drop_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
+    ) -> None:
+        if not (0.0 <= drop_probability <= 1.0 and 0.0 <= duplicate_probability <= 1.0):
+            raise ValueError("probabilities must lie in [0, 1]")
+        self._rng = rng
+        self.drop_probability = drop_probability
+        self.duplicate_probability = duplicate_probability
+        # (source, target) -> [(t_from, t_to)] scheduled link-down windows.
+        self._partitions: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
+        # broker name -> [(t_from, t_to)] scheduled down intervals.
+        self._broker_downtimes: Dict[str, List[Tuple[float, float]]] = {}
+
+    def should_drop(self) -> bool:
+        """Decide whether the next message is lost (iid fault)."""
+        return self.drop_probability > 0 and self._rng.random() < self.drop_probability
+
+    def should_duplicate(self) -> bool:
+        """Decide whether the next message is duplicated (iid fault)."""
+        return (
+            self.duplicate_probability > 0 and self._rng.random() < self.duplicate_probability
+        )
+
+    # -- scheduled faults ---------------------------------------------------
+    @staticmethod
+    def _check_window(t_from: float, t_to: float) -> Tuple[float, float]:
+        if not (0.0 <= t_from < t_to):
+            raise ValueError("require 0 <= t_from < t_to, got [{}, {})".format(t_from, t_to))
+        return (float(t_from), float(t_to))
+
+    def partition(self, source: str, target: str, t_from: float, t_to: float) -> None:
+        """Declare the directed link *source* -> *target* down in ``[t_from, t_to)``."""
+        window = self._check_window(t_from, t_to)
+        self._partitions.setdefault((source, target), []).append(window)
+
+    def broker_down(self, broker: str, t_from: float, t_to: float) -> None:
+        """Declare *broker* crashed in ``[t_from, t_to)``: all its links drop."""
+        window = self._check_window(t_from, t_to)
+        self._broker_downtimes.setdefault(broker, []).append(window)
+
+    @staticmethod
+    def _in_window(windows: Optional[List[Tuple[float, float]]], now: float) -> bool:
+        if not windows:
+            return False
+        return any(t_from <= now < t_to for t_from, t_to in windows)
+
+    def is_broker_down(self, broker: str, now: float) -> bool:
+        """Whether *broker* is inside one of its scheduled down intervals."""
+        return self._in_window(self._broker_downtimes.get(broker), now)
+
+    def link_down_reason(self, source: str, target: str, now: float) -> Optional[str]:
+        """The scheduled fault downing the link at *now*, or ``None``.
+
+        Returns ``"partition"`` for a link-down window, ``"broker-down"``
+        when either endpoint is inside a broker down interval — the
+        reason recorded against every message dropped by the fault.
+        """
+        if self._in_window(self._partitions.get((source, target)), now):
+            return "partition"
+        if self.is_broker_down(source, now) or self.is_broker_down(target, now):
+            return "broker-down"
+        return None

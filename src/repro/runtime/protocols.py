@@ -32,7 +32,16 @@ from repro.runtime.trace import TraceRecorder
 
 
 class ScheduledCall(Protocol):
-    """A cancellable handle returned by :meth:`Clock.schedule`."""
+    """A cancellable handle returned by :meth:`Clock.schedule`.
+
+    Every backend returns a handle with the same surface — the
+    simulator's ``Event``, the asyncio backend's wall-clock and
+    virtual-time timers all satisfy it structurally — so itinerary and
+    scenario code can schedule and cancel without knowing the backend.
+    """
+
+    #: ``True`` once :meth:`cancel` ran; the callback will never fire.
+    cancelled: bool
 
     def cancel(self) -> None:
         """Prevent the scheduled callback from running (idempotent)."""

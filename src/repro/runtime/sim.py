@@ -10,25 +10,26 @@ byte-identical to the pre-split code: same classes, same construction
 parameters, same event ordering.
 
 The latency specification accepted here (a constant, a per-edge mapping,
-or a factory) is simulator-specific — real backends measure latency, they
-do not model it — which is why it lives with the backend rather than in
-the generic network assembly.
+or a factory) is shared with the virtual-time asyncio backend — see
+:mod:`repro.runtime.latency` — so one spec produces the same modelled
+delays on both backends.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Mapping, Optional, Tuple, Union
+from typing import Callable, Optional
 
 from repro.messages.base import Message
+from repro.runtime.latency import (
+    DEFAULT_LINK_LATENCY,
+    LatencySpec,
+    resolve_latency,
+)
 from repro.runtime.trace import TraceRecorder
 from repro.sim.engine import Simulator
-from repro.sim.network import FixedLatency, LatencyModel, Link
+from repro.sim.network import Link
 
-#: Latency specification: a constant, a per-edge mapping, or a factory
-#: called with ``(source, target)``.
-LatencySpec = Union[float, Mapping[Tuple[str, str], float], Callable[[str, str], LatencyModel]]
-
-DEFAULT_LINK_LATENCY = 0.05  # 50 ms, a typical wide-area broker link
+__all__ = ["DEFAULT_LINK_LATENCY", "LatencySpec", "SimRuntime"]
 
 
 class SimRuntime:
@@ -67,7 +68,7 @@ class SimRuntime:
             source=source,
             target=target,
             deliver=deliver,
-            latency=self._latency_model(source, target),
+            latency=resolve_latency(self._latency_spec, source, target),
             trace=self._trace,
             batch=self.batch_links,
         )
@@ -82,22 +83,6 @@ class SimRuntime:
 
     def close(self) -> None:
         """Nothing to release: the simulator holds no external resources."""
-
-    # ------------------------------------------------------------------
-    # Latency resolution
-    # ------------------------------------------------------------------
-    def _latency_model(self, source: str, target: str) -> LatencyModel:
-        spec = self._latency_spec
-        if isinstance(spec, (int, float)):
-            return FixedLatency(float(spec))
-        if callable(spec):
-            return spec(source, target)
-        # Mapping: accept either orientation of the edge key.
-        if (source, target) in spec:
-            return FixedLatency(float(spec[(source, target)]))
-        if (target, source) in spec:
-            return FixedLatency(float(spec[(target, source)]))
-        return FixedLatency(DEFAULT_LINK_LATENCY)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "SimRuntime(t={:.3f}, batch={})".format(self.simulator.now, self.batch_links)

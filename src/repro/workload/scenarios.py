@@ -75,7 +75,9 @@ class ParkingScenario:
     def build(self) -> ScenarioResult:
         """Assemble the network, clients and schedules (but do not run)."""
         rng = DeterministicRandom(self.seed)
-        streets = MovementGraph.grid(self.grid_rows, self.grid_columns, name_format="block-{row}-{col}")
+        streets = MovementGraph.grid(
+            self.grid_rows, self.grid_columns, name_format="block-{row}-{col}"
+        )
         locations = streets.locations()
 
         topology = line_topology(4)
@@ -242,7 +244,13 @@ class StockTickerScenario:
             roaming_brokers,
             connected_time=self.connected_time,
             disconnected_time=self.disconnected_time,
-            repetitions=max(1, int(self.horizon / ((self.connected_time + self.disconnected_time) * len(roaming_brokers)))),
+            repetitions=max(
+                1,
+                int(
+                    self.horizon
+                    / ((self.connected_time + self.disconnected_time) * len(roaming_brokers))
+                ),
+            ),
         )
         driver = ItineraryDriver(network, trader)
         driver.schedule_roaming(itinerary)
@@ -259,7 +267,9 @@ class StockTickerScenario:
 
         from repro.workload.generators import PoissonPublisher
 
-        generator = PoissonPublisher(rate=self.publish_rate, rng=rng.fork(3), attribute_factory=quote_attributes)
+        generator = PoissonPublisher(
+            rate=self.publish_rate, rng=rng.fork(3), attribute_factory=quote_attributes
+        )
         generator.drive(network, exchange, start=0.5, end=self.horizon)
 
         return ScenarioResult(

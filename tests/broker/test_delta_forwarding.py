@@ -29,7 +29,9 @@ def _make_broker(strategy="covering", neighbours=("N1", "N2"), use_advertisement
     sink = []
     for name in neighbours:
         broker.add_link(
-            Link(simulator, "B", name, lambda message, link: sink.append(message), FixedLatency(0.0))
+            Link(
+                simulator, "B", name, lambda message, link: sink.append(message), FixedLatency(0.0)
+            )
         )
     return broker, sink
 

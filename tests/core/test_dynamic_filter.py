@@ -10,7 +10,9 @@ from repro.filters.covering import filter_covers
 class TestDynamicFilter:
     def test_instantiation_follows_state(self):
         dynamic = DynamicFilter(
-            {"type": "sale"}, attribute="price", constraint_function=lambda budget: LessEqual(budget)
+            {"type": "sale"},
+            attribute="price",
+            constraint_function=lambda budget: LessEqual(budget),
         )
         cheap = dynamic.instantiate(50.0)
         assert cheap.matches({"type": "sale", "price": 40})
@@ -78,4 +80,6 @@ class TestBudgetFilter:
 
     def test_zero_growth_degenerates_to_exact(self):
         budget_filter = BudgetFilter({"type": "sale"}, max_budget_growth=0.0)
-        assert budget_filter.instantiate_with_uncertainty(50.0, 4) == budget_filter.instantiate(50.0)
+        assert budget_filter.instantiate_with_uncertainty(50.0, 4) == budget_filter.instantiate(
+            50.0
+        )

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.experiments import fig2_naive_roaming, fig3_blackout, fig5_relocation, fig9_message_counts
+from repro.experiments import (
+    fig2_naive_roaming,
+    fig3_blackout,
+    fig5_relocation,
+    fig9_message_counts,
+)
 
 
 class TestFigure2:

@@ -142,7 +142,10 @@ class TestEpochSemantics:
 
     def test_epoch_report(self):
         trace = build_trace(
-            published=[(0.0, 1, {"s": "x", "location": "a"}), (1.0, 2, {"s": "x", "location": "b"})],
+            published=[
+                (0.0, 1, {"s": "x", "location": "a"}),
+                (1.0, 2, {"s": "x", "location": "b"}),
+            ],
             delivered=[(1.0, 1)],
         )
         timeline = LocationTimeline([(0.0, "a")])

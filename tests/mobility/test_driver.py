@@ -79,7 +79,11 @@ class TestRoamingDriving:
 
         assert check_completeness(network.trace, "C", Filter({"topic": "news"})).complete
         assert check_no_duplicates(network.trace, "C").clean
-        assert [broker for _, broker in driver.attachment_timeline() if broker] == ["B1", "B2", "B3"]
+        assert [broker for _, broker in driver.attachment_timeline() if broker] == [
+            "B1",
+            "B2",
+            "B3",
+        ]
 
     def test_attachment_timeline_records_detaches(self):
         network = PubSubNetwork(line_topology(2), strategy="covering", latency=0.01)
@@ -88,7 +92,9 @@ class TestRoamingDriving:
         consumer = Client("C")
         consumer.subscribe({"topic": "news"})
         driver = ItineraryDriver(network, consumer)
-        driver.schedule_roaming(RoamingItinerary.from_visits([(0.0, 2.0, "B1"), (3.0, float("inf"), "B2")]))
+        driver.schedule_roaming(
+            RoamingItinerary.from_visits([(0.0, 2.0, "B1"), (3.0, float("inf"), "B2")])
+        )
         network.run_until(5.0)
         timeline = driver.attachment_timeline()
         assert timeline[0][1] == "B1"

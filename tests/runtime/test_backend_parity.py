@@ -1,18 +1,39 @@
 """Backend parity: the simulator and the asyncio backend must agree.
 
 The same broker code runs under both runtimes; the wire codec and the
-framed streams in between must be behaviour-preserving.  Each scenario
-here runs once on :class:`~repro.runtime.sim.SimRuntime` and once on
-:class:`~repro.runtime.aio.AioRuntime` and must produce **identical
-delivery traces**: the same notifications, in the same order, with the
-same per-subscription sequence numbers, for every client.  (Timestamps
-differ — one clock is simulated, the other real — and are excluded.)
+framed streams in between must be behaviour-preserving.  Two layers of
+assertion:
+
+* **Scenario parity** (wall-clock asyncio) — each hand-written scenario
+  runs once on :class:`~repro.runtime.sim.SimRuntime` and once on a
+  wall-clock :class:`~repro.runtime.aio.AioRuntime` and must produce
+  identical *time-free* delivery traces (one clock is simulated, the
+  other real, so timestamps are excluded).
+* **Experiment parity** (virtual-time asyncio) — the FULL experiment
+  suite (fig 2/3/5/9, tables 1–4, the failure-schedule family) runs on
+  the simulator and on the virtual-time asyncio backend (memory and TCP
+  transports) and must agree on everything **including timestamps**:
+  delivery records, link traversals (admin messages included), drop
+  records, publish records, and every rendered metric.  This is the CI
+  backend-parity gate.
 """
 
 import pytest
 
 from repro.broker.network import PubSubNetwork
+from repro.experiments import (
+    failure_schedule,
+    fig2_naive_roaming,
+    fig3_blackout,
+    fig5_relocation,
+    fig9_message_counts,
+    table1_ploc,
+    table2_filters,
+    table3_endpoints,
+    table4_adaptive,
+)
 from repro.runtime.aio import AioRuntime
+from repro.runtime.factory import runtime_factory
 from repro.topology.builders import line_topology
 
 
@@ -175,3 +196,146 @@ def test_quickstart_parity_tcp_transport():
         pytest.skip("loopback sockets unavailable: {}".format(error))
     assert _delivery_trace(aio_network) == _delivery_trace(sim_network)
     assert _received(aio_clients) == _received(sim_clients)
+
+
+# ---------------------------------------------------------------------------
+# Full-suite experiment parity (virtual-time asyncio vs. the simulator)
+# ---------------------------------------------------------------------------
+
+#: The asyncio variants the experiment-parity gate checks against "sim".
+AIO_BACKENDS = ("aio-memory", "aio-tcp")
+
+
+class RecordingFactory:
+    """A runtime factory that remembers every runtime it created.
+
+    Experiments build their networks internally; wrapping the factory is
+    how the parity tests get hold of each network's trace recorder after
+    the experiment returns (closing a runtime only stops its transport,
+    the trace stays readable).
+    """
+
+    def __init__(self, backend):
+        self.backend = backend
+        self._factory = runtime_factory(backend)
+        self.runtimes = []
+
+    def __call__(self, **kwargs):
+        runtime = self._factory(**kwargs)
+        self.runtimes.append(runtime)
+        return runtime
+
+    def fingerprints(self):
+        return [_trace_fingerprint(runtime.trace) for runtime in self.runtimes]
+
+
+def _trace_fingerprint(trace):
+    """Everything a trace records, timestamps included, message ids excluded.
+
+    ``message_id`` is a process-global counter (it differs by how many
+    messages earlier runs in the same process created) and is the only
+    field excluded.  Link and drop records are compared as sorted
+    multisets: the simulator's batched links may coalesce same-time
+    deliveries into a different append order than per-frame channels.
+    """
+    deliveries = [
+        (
+            record.time,
+            record.client_id,
+            record.subscription_id,
+            record.publisher,
+            record.publisher_seq,
+            record.sequence,
+            record.attributes,
+        )
+        for record in trace.delivery_records
+    ]
+    links = sorted(
+        (
+            record.time,
+            record.source,
+            record.target,
+            record.kind.name,
+            record.message_type,
+            record.description,
+        )
+        for record in trace.link_records
+    )
+    drops = sorted(
+        (
+            record.time,
+            record.source,
+            record.target,
+            record.kind.name,
+            record.message_type,
+            record.reason,
+        )
+        for record in trace.drop_records
+    )
+    publishes = [
+        (record.time, record.publisher, record.publisher_seq, record.attributes)
+        for record in trace.publish_records
+    ]
+    return {"deliveries": deliveries, "links": links, "drops": drops, "publishes": publishes}
+
+
+def _quick_fig9_config():
+    return fig9_message_counts.Fig9Config(horizon=30.0)
+
+
+#: name -> callable(factory) running one experiment on that backend.
+EXPERIMENTS = {
+    "table1": lambda factory: table1_ploc.run(runtime_factory=factory),
+    "table2": lambda factory: table2_filters.run(runtime_factory=factory),
+    "table3": lambda factory: table3_endpoints.run(runtime_factory=factory),
+    "table4": lambda factory: table4_adaptive.run(runtime_factory=factory),
+    "fig2": lambda factory: fig2_naive_roaming.run(runtime_factory=factory),
+    "fig3": lambda factory: fig3_blackout.run(runtime_factory=factory),
+    "fig5-single": lambda factory: fig5_relocation.run(producers=1, runtime_factory=factory),
+    "fig5-multi": lambda factory: fig5_relocation.run(producers=2, runtime_factory=factory),
+    "fig9": lambda factory: fig9_message_counts.run(
+        _quick_fig9_config(), runtime_factory=factory
+    ),
+    "failure-schedule": lambda factory: failure_schedule.run(runtime_factory=factory),
+}
+
+
+@pytest.fixture(scope="module")
+def sim_baseline():
+    """Lazily computed per-experiment simulator baseline, shared per module."""
+    cache = {}
+
+    def get(name):
+        if name not in cache:
+            factory = RecordingFactory("sim")
+            result = EXPERIMENTS[name](factory)
+            cache[name] = (result.format_text(), factory.fingerprints())
+        return cache[name]
+
+    return get
+
+
+@pytest.mark.parametrize("backend", AIO_BACKENDS)
+@pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+def test_experiment_parity(name, backend, sim_baseline):
+    """The full experiment agrees with the simulator, timestamps included."""
+    sim_text, sim_fingerprints = sim_baseline(name)
+    factory = RecordingFactory(backend)
+    try:
+        result = EXPERIMENTS[name](factory)
+    except OSError as error:  # pragma: no cover - sandboxed environments
+        pytest.skip("loopback sockets unavailable: {}".format(error))
+    # Every rendered number (message counts, blackout durations,
+    # relocation latencies, recovery reports) is byte-identical.
+    assert result.format_text() == sim_text
+    # The experiment built the same number of networks, and each one
+    # produced the identical trace: deliveries in identical order with
+    # identical virtual timestamps, the same link traversals (admin
+    # messages included), the same drops and publishes.
+    aio_fingerprints = factory.fingerprints()
+    assert len(aio_fingerprints) == len(sim_fingerprints)
+    for aio_fp, sim_fp in zip(aio_fingerprints, sim_fingerprints):
+        assert aio_fp["deliveries"] == sim_fp["deliveries"]
+        assert aio_fp["links"] == sim_fp["links"]
+        assert aio_fp["drops"] == sim_fp["drops"]
+        assert aio_fp["publishes"] == sim_fp["publishes"]

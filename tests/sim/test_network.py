@@ -28,7 +28,11 @@ class TestLatencyAndFifo:
         simulator = Simulator()
         times = []
         link = Link(
-            simulator, "A", "B", lambda message, link: times.append(simulator.now), FixedLatency(0.5)
+            simulator,
+            "A",
+            "B",
+            lambda message, link: times.append(simulator.now),
+            FixedLatency(0.5),
         )
         link.send(make_notification(1))
         simulator.run()

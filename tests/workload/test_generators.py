@@ -31,7 +31,9 @@ class TestUniformLocationPublisher:
         assert all(item.as_dict()["service"] == "x" for item in schedule)
 
     def test_approximately_uniform(self):
-        generator = UniformLocationPublisher(["a", "b", "c", "d"], rate=50.0, rng=DeterministicRandom(7))
+        generator = UniformLocationPublisher(
+            ["a", "b", "c", "d"], rate=50.0, rng=DeterministicRandom(7)
+        )
         schedule = generator.schedule(0.0, 40.0)
         counts = {}
         for item in schedule:
