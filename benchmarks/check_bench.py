@@ -62,6 +62,12 @@ COUNTER_FIELDS = (
     "recovery_store_bytes",
     "deliveries_lost",
     "duplicates_suppressed",
+    # Disk store and in-flight retention: write amplification, replayed
+    # journal volume and takeover retransmits must not creep up either.
+    "disk_bytes_written",
+    "disk_records_recovered",
+    "disk_snapshots_written",
+    "retention_replayed",
 )
 #: extra_info fields where a *decrease* is a lost speedup.
 RATIO_FIELDS = (

@@ -14,7 +14,10 @@ are recorded for trend-watching only.
 import pytest
 
 from repro.broker.network import PubSubNetwork
+from repro.broker.recovery import DiskRecoveryStore
 from repro.experiments import failure_schedule
+from repro.filters.filter import Filter
+from repro.messages.admin import Subscribe
 from repro.topology.builders import line_topology
 
 
@@ -28,9 +31,58 @@ def test_crash_restart_scenario(benchmark):
             "deliveries_lost": result.report.deliveries_lost,
             "duplicates_suppressed": result.report.duplicates_suppressed,
             "redelivered": result.report.redelivered,
+            "retention_replayed": result.report.retention_replayed,
         }
     )
     assert result.durable_guarantees_hold
+
+
+def test_crash_restart_with_disk_store(benchmark, tmp_path):
+    """The same walk-through writing through the fsync'd disk store."""
+    config = failure_schedule.FailureScheduleConfig(storage_dir=str(tmp_path))
+    result = benchmark.pedantic(
+        failure_schedule.run_crash_restart, args=(config,), iterations=1, rounds=1
+    )
+    benchmark.extra_info.update(
+        {
+            "recovery_log_replayed": result.log_replayed,
+            "retention_replayed": result.report.retention_replayed,
+            "disk_bytes_written": result.report.store_counters["disk_bytes_written"],
+            "disk_snapshots_written": result.report.store_counters[
+                "disk_snapshots_written"
+            ],
+            "deliveries_lost": result.report.deliveries_lost,
+        }
+    )
+    assert result.durable_guarantees_hold
+
+
+@pytest.mark.parametrize("records", [100, 400])
+def test_disk_cold_restart_recovers_journal(benchmark, tmp_path, records):
+    """Cold-open cost of a journal with *records* fsync'd frames."""
+    seed = DiskRecoveryStore("B1", str(tmp_path))
+    for index in range(records):
+        seed.append(
+            "client",
+            Subscribe(
+                Filter({"topic": "t{:04d}".format(index)}),
+                subject="c/s{}".format(index),
+            ),
+            float(index),
+        )
+    seed.close()
+    store = benchmark.pedantic(
+        DiskRecoveryStore, args=("B1", str(tmp_path)), iterations=1, rounds=1
+    )
+    benchmark.extra_info.update(
+        {
+            "disk_records_recovered": store.counters["disk_records_recovered"],
+            "recovery_store_bytes": store.stored_bytes(),
+        }
+    )
+    assert store.counters["disk_records_recovered"] == records
+    assert store.counters["disk_torn_records"] == 0
+    store.close()
 
 
 def _loaded_border(subscriptions: int, snapshot: bool) -> PubSubNetwork:

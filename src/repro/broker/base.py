@@ -27,8 +27,9 @@ keeps the broker's behaviour consistent across all of them.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Deque, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.location_filter import (
     LocationDependentFilter,
@@ -51,6 +52,7 @@ from repro.broker.recovery import (
 )
 from repro.messages.admin import Advertise, Subscribe, Unadvertise, Unsubscribe
 from repro.messages.base import Message, MessageKind
+from repro.messages.control import ForwardAck, Heartbeat, SequencedForward
 from repro.messages.mobility import (
     FetchRequest,
     LocationUpdate,
@@ -173,6 +175,18 @@ class BrokerConfig:
         are matched by the routing table's candidate engine and the gate
         scans linearly (the original behaviour, kept as the byte-identical
         oracle: same deliveries, same admin traffic, same RNG order).
+    forward_retention:
+        When set to an integer ``W``, every broker→broker notification
+        forward is wrapped in a :class:`~repro.messages.control.
+        SequencedForward` and *retained* (at most ``W`` per neighbour,
+        oldest evicted first) until the receiving broker's cumulative
+        :class:`~repro.messages.control.ForwardAck` releases it.  The
+        retained, unacknowledged window is what
+        :meth:`Broker.takeover_subscribe` replays to a durable
+        subscriber failing over from a crashed neighbour — closing the
+        in-flight loss window the paper's failure-free model never had
+        to consider.  ``None`` (the default) keeps the paper's bare
+        forwards: no wrapper, no acks, no retention.
     """
 
     use_advertisements: bool = True
@@ -181,6 +195,7 @@ class BrokerConfig:
     incremental_forwarding: bool = True
     delta_forwarding: bool = True
     indexed_dispatch: bool = True
+    forward_retention: Optional[int] = None
 
 
 @dataclass
@@ -273,6 +288,12 @@ class Broker:
             "advert_gate_misses": 0,
             "messages_dropped_down": 0,
             "recovery_log_replayed": 0,
+            "control_received": 0,
+            "heartbeats_sent": 0,
+            "forwards_retained": 0,
+            "forwards_acked": 0,
+            "retention_evicted": 0,
+            "retention_replayed": 0,
         }
 
     def _init_routing_state(self) -> None:
@@ -288,6 +309,18 @@ class Broker:
         strategy = self.strategy
         self.subscription_table = RoutingTable()
         self.advertisement_table = RoutingTable()
+        # Liveness: neighbour -> clock reading of the last heartbeat heard
+        # from it.  Volatile on purpose — a restarted broker must re-earn
+        # its lease before neighbours consider it alive again.
+        self.heartbeat_last_heard: Dict[str, float] = {}
+        # In-flight retention (config.forward_retention): per-neighbour
+        # window of (link_seq, notification) forwards not yet acked, the
+        # next outgoing link sequence, and the highest link sequence
+        # processed from each neighbour.  All volatile: the *upstream*
+        # copy is what protects a crashing broker's in-flight traffic.
+        self._retained_forwards: Dict[str, Deque[Tuple[int, Notification]]] = {}
+        self._forward_link_seq: Dict[str, int] = {}
+        self._forward_recv_seq: Dict[str, int] = {}
         # neighbour -> {(filter key, subject): Filter} already forwarded there
         self._forwarded_subscriptions: Dict[str, Dict[Tuple[Any, str], Filter]] = {}
         self._forwarded_advertisements: Dict[str, Dict[Tuple[Any, str], Filter]] = {}
@@ -412,7 +445,10 @@ class Broker:
         """
         if self.recovery is None or self._replaying:
             return
-        if message.kind is MessageKind.NOTIFICATION:
+        if message.kind in (MessageKind.NOTIFICATION, MessageKind.CONTROL):
+            # Notifications: routing state is a function of admin traffic
+            # only.  Control traffic (heartbeats, forward acks): liveness
+            # and retention windows are volatile by design.
             return
         if isinstance(message, FetchRequest):
             # A FetchRequest's table effect depends on volatile state (is
@@ -426,6 +462,15 @@ class Broker:
         if isinstance(message, Notification):
             self.counters["notifications_received"] += 1
             self._handle_notification(message, from_destination)
+        elif isinstance(message, SequencedForward):
+            self.counters["notifications_received"] += 1
+            self._handle_sequenced_forward(message, from_destination)
+        elif isinstance(message, ForwardAck):
+            self.counters["control_received"] += 1
+            self._handle_forward_ack(message, from_destination)
+        elif isinstance(message, Heartbeat):
+            self.counters["control_received"] += 1
+            self._handle_heartbeat(message, from_destination)
         elif isinstance(message, Subscribe):
             self.counters["admin_received"] += 1
             self._handle_subscribe(message, from_destination)
@@ -470,15 +515,22 @@ class Broker:
         """Whether the broker is currently down (between crash and restart)."""
         return self._crashed
 
-    def enable_recovery(self) -> RecoveryStore:
+    def enable_recovery(self, store: Optional[RecoveryStore] = None) -> RecoveryStore:
         """Attach a recovery store; admin traffic is journaled from now on.
 
+        *store* selects the backend — any :class:`RecoveryStore`
+        implementation, e.g. a :class:`~repro.broker.recovery.
+        DiskRecoveryStore`; ``None`` attaches the in-memory default.
         Enable recovery *before* routing state is built up (or take a
         snapshot right after enabling) — the log only captures traffic
         processed while the store is attached.
         """
         if self.recovery is None:
-            self.recovery = RecoveryStore(self.name)
+            self.recovery = store if store is not None else RecoveryStore(self.name)
+        elif store is not None and store is not self.recovery:
+            raise ValueError(
+                "broker {} already has a recovery store attached".format(self.name)
+            )
         return self.recovery
 
     def take_snapshot(self) -> RoutingSnapshot:
@@ -771,6 +823,7 @@ class Broker:
         filter_: Filter,
         last_sequence: int,
         dead_border: str,
+        seen_identities: Iterable[Tuple[str, int]] = (),
     ) -> None:
         """Adopt a durable subscription whose border broker crashed.
 
@@ -781,8 +834,16 @@ class Broker:
         happens while the delivery path through this broker is intact, so
         matching notifications keep flowing here rather than into the
         crashed broker).  Routing entries pointing at the dead broker are
-        dropped, the client's row is added, and the relocation completes
-        immediately with zero replay.
+        dropped and the client's row is added.
+
+        With ``config.forward_retention`` on, the retained unacked window
+        toward *dead_border* is the exact set of notifications that may
+        have died in flight inside the crashed broker; the matching ones
+        the client has not already seen (*seen_identities*, the
+        ``(publisher, publisher_seq)`` pairs it received) are redelivered
+        here with fresh sequence numbers — closing the in-flight loss
+        window.  Without retention the relocation completes with zero
+        replay, as before.
         """
         registration = self._require_client(client_id)
         token = subscription_token(client_id, subscription_id)
@@ -800,6 +861,20 @@ class Broker:
             self.subscription_table.remove(entry.filter, dead_border, token)
         self._journal(client_id, Subscribe(filter_, subject=token))
         self.subscription_table.add(filter_, client_id, token)
+        replayed = 0
+        if self.config.forward_retention is not None:
+            seen = set(seen_identities)
+            for _, notification in list(self._retained_forwards.get(dead_border, ())):
+                if notification.identity in seen:
+                    continue
+                if not filter_.matches(notification.attributes):
+                    continue
+                seen.add(notification.identity)
+                sequence = record.next_sequence
+                record.next_sequence += 1
+                self.counters["retention_replayed"] += 1
+                self._deliver_to_client(record, notification, sequence)
+                replayed += 1
         now = self.clock.now
         self.relocation_records.append(
             RelocationRecord(
@@ -809,7 +884,7 @@ class Broker:
                 new_border=self.name,
                 started_at=now,
                 completed_at=now,
-                replayed=0,
+                replayed=replayed,
             )
         )
         self._refresh_all_forwarding(exclude=client_id)
@@ -934,12 +1009,89 @@ class Broker:
             matched_entries = self.subscription_table.matching_entries(attributes)
         if from_destination in forward_to:
             forward_to.discard(from_destination)
+        retention = self.config.forward_retention
         for neighbour in sorted(forward_to):
             self.counters["notifications_forwarded"] += 1
-            self._links[neighbour].send(notification)
+            if retention is None:
+                self._links[neighbour].send(notification)
+            else:
+                self._send_retained_forward(neighbour, notification, retention)
 
         # Local delivery (including buffering into counterparts).
         self._deliver_locally(notification, from_destination, matched_entries)
+
+    # ------------------------------------------------------------------
+    # In-flight retention (config.forward_retention)
+    # ------------------------------------------------------------------
+    def _send_retained_forward(
+        self, neighbour: str, notification: Notification, window: int
+    ) -> None:
+        """Forward *notification* wrapped with a link sequence, retaining it.
+
+        The copy stays in the per-neighbour window until the neighbour's
+        cumulative ack covers it; a bounded window evicts oldest-first
+        (``retention_evicted`` counts the evictions — an eviction is a
+        reopened loss window, so sizing shows up in the counters).
+        """
+        sequence = self._forward_link_seq.get(neighbour, 0) + 1
+        self._forward_link_seq[neighbour] = sequence
+        buffer = self._retained_forwards.setdefault(neighbour, deque())
+        buffer.append((sequence, notification))
+        self.counters["forwards_retained"] += 1
+        while len(buffer) > window:
+            buffer.popleft()
+            self.counters["retention_evicted"] += 1
+        self._links[neighbour].send(
+            SequencedForward(notification, sender=self.name, link_seq=sequence)
+        )
+
+    def _handle_sequenced_forward(
+        self, message: SequencedForward, from_destination: Optional[str]
+    ) -> None:
+        """Unwrap a retained forward, process it, and ack it cumulatively."""
+        if from_destination is not None:
+            previous = self._forward_recv_seq.get(from_destination, 0)
+            self._forward_recv_seq[from_destination] = max(previous, message.link_seq)
+        self._handle_notification(message.notification, from_destination)
+        if from_destination in self._links and not self._replaying:
+            self._links[from_destination].send(
+                ForwardAck(
+                    sender=self.name,
+                    upto=self._forward_recv_seq.get(from_destination, message.link_seq),
+                )
+            )
+
+    def _handle_forward_ack(
+        self, message: ForwardAck, from_destination: Optional[str]
+    ) -> None:
+        buffer = self._retained_forwards.get(from_destination)
+        if not buffer:
+            return
+        while buffer and buffer[0][0] <= message.upto:
+            buffer.popleft()
+            self.counters["forwards_acked"] += 1
+
+    def retained_forwards(self, neighbour: str) -> List[Tuple[int, Notification]]:
+        """The currently retained (unacked) window toward *neighbour*."""
+        return list(self._retained_forwards.get(neighbour, ()))
+
+    # ------------------------------------------------------------------
+    # Heartbeats (liveness beacons consumed by the failure detector)
+    # ------------------------------------------------------------------
+    def emit_heartbeats(self) -> None:
+        """Send one :class:`Heartbeat` to every neighbour (no-op while down)."""
+        if self._crashed:
+            return
+        now = self.clock.now
+        for neighbour in self.neighbours():
+            self.counters["heartbeats_sent"] += 1
+            self._links[neighbour].send(Heartbeat(sender=self.name, sent_at=now))
+
+    def _handle_heartbeat(
+        self, message: Heartbeat, from_destination: Optional[str]
+    ) -> None:
+        if from_destination is not None:
+            self.heartbeat_last_heard[from_destination] = self.clock.now
 
     def _deliver_locally(
         self,

@@ -81,6 +81,14 @@ class Client:
             "duplicates_suppressed": 0,
             "gaps_detected": 0,
         }
+        # Per-subscription gap ranges: each detected gap records the
+        # half-open-on-nothing inclusive range [previous + 1, sequence - 1]
+        # of sequence numbers that were skipped.  A later redelivery that
+        # falls inside a recorded range *fills* it (shrinking or
+        # splitting), so ``unfilled_gap_ranges`` reports what is still
+        # actually missing — the observable the in-flight-window fix is
+        # verified against.
+        self._gap_ranges: Dict[str, List[Tuple[int, int]]] = {}
 
         # Publishing state.
         self._publish_seq = 0
@@ -227,6 +235,7 @@ class Client:
                     filter_,
                     self._last_sequence.get(subscription_id, 0),
                     dead_border,
+                    seen_identities=self.received_identities(subscription_id),
                 )
             else:
                 broker.client_subscribe(self.client_id, subscription_id, filter_)
@@ -318,9 +327,13 @@ class Client:
             previous = self._last_sequence.get(subscription_id, 0)
             if sequence <= previous:
                 self.counters["duplicates_suppressed"] += 1
+                self._fill_gap(subscription_id, sequence)
                 return
             if sequence > previous + 1:
                 self.counters["gaps_detected"] += 1
+                self._gap_ranges.setdefault(subscription_id, []).append(
+                    (previous + 1, sequence - 1)
+                )
         time = self._broker.clock.now if self._broker is not None else 0.0
         self.received.append(
             ReceivedNotification(
@@ -411,6 +424,36 @@ class Client:
     def last_sequence(self, subscription_id: str) -> int:
         """The highest delivery sequence number seen for a subscription."""
         return self._last_sequence.get(subscription_id, 0)
+
+    def _fill_gap(self, subscription_id: str, sequence: int) -> None:
+        """A redelivery arrived for *sequence*: fill it out of any gap range."""
+        ranges = self._gap_ranges.get(subscription_id)
+        if not ranges:
+            return
+        filled: List[Tuple[int, int]] = []
+        for low, high in ranges:
+            if sequence < low or sequence > high:
+                filled.append((low, high))
+                continue
+            if low < sequence:
+                filled.append((low, sequence - 1))
+            if sequence < high:
+                filled.append((sequence + 1, high))
+        self._gap_ranges[subscription_id] = filled
+
+    def unfilled_gap_ranges(self, subscription_id: Optional[str] = None) -> List[Tuple[int, int]]:
+        """Sequence ranges detected as gaps and never filled by a redelivery.
+
+        With *subscription_id* the ranges of that subscription; without,
+        the union across subscriptions, sorted.  An empty list after an
+        outage is the durable-subscriber zero-loss witness.
+        """
+        if subscription_id is not None:
+            return sorted(self._gap_ranges.get(subscription_id, []))
+        collected: List[Tuple[int, int]] = []
+        for ranges in self._gap_ranges.values():
+            collected.extend(ranges)
+        return sorted(collected)
 
     def received_identities(self, subscription_id: Optional[str] = None) -> List[Tuple[str, int]]:
         """Identities of all received notifications (optionally one subscription)."""

@@ -18,10 +18,11 @@ package — the backend choice is the runtime's business.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.broker.base import Broker, BrokerConfig
 from repro.broker.client import Client
+from repro.broker.recovery import RecoveryStore
 from repro.routing.strategies import RoutingStrategy, make_strategy
 from repro.runtime.protocols import Clock, Runtime
 from repro.runtime.trace import TraceRecorder
@@ -107,6 +108,11 @@ class PubSubNetwork:
         for left, right in graph.edges():
             self._connect(left, right)
         self.clients: Dict[str, Client] = {}
+        # Clients orphaned by a crash with no scripted takeover; the
+        # failure detector adopts them when a neighbour observes the
+        # missed lease (see ``failover_orphans``).
+        self._orphans: Dict[str, List[Client]] = {}
+        self.failure_detector: Optional[FailureDetector] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -159,17 +165,24 @@ class PubSubNetwork:
     # ------------------------------------------------------------------
     # Failures and recovery
     # ------------------------------------------------------------------
-    def enable_recovery(self, *broker_names: str) -> None:
+    def enable_recovery(
+        self,
+        *broker_names: str,
+        store_factory: Optional[Callable[[str], RecoveryStore]] = None,
+    ) -> None:
         """Switch on crash recovery (admin journal + snapshots).
 
-        With no arguments every broker gets a
-        :class:`~repro.broker.recovery.RecoveryStore`; otherwise only the
-        named ones do.  Must be called before the admin traffic that
-        should survive a crash — the journal only records what it sees.
+        With no arguments every broker gets a recovery store; otherwise
+        only the named ones do.  *store_factory* maps a broker name to
+        the store to attach (e.g. ``lambda name: DiskRecoveryStore(name,
+        tmpdir)``); ``None`` attaches the in-memory default.  Must be
+        called before the admin traffic that should survive a crash —
+        the journal only records what it sees.
         """
         names = broker_names or tuple(self.brokers)
         for name in names:
-            self.brokers[name].enable_recovery()
+            store = store_factory(name) if store_factory is not None else None
+            self.brokers[name].enable_recovery(store)
 
     def snapshot_broker(self, name: str) -> int:
         """Checkpoint *name*'s routing state, truncating its journal."""
@@ -191,10 +204,33 @@ class PubSubNetwork:
         broker = self.brokers[name]
         orphans = broker.attached_clients()
         broker.crash()
+        # Runtime-level teardown, where the backend supports it: the
+        # asyncio runtime tears the channels *into* the dead broker so
+        # in-flight frames are dropped (and attributed) at the transport
+        # layer instead of reaching a dead process.  The simulator's
+        # links need no teardown — the broker-side intake gate drops at
+        # delivery time with identical trace records.
+        teardown = getattr(self.runtime, "teardown_broker", None)
+        if teardown is not None:
+            teardown(name)
         for client in orphans:
             client.drop_connection()
             if takeover is not None:
                 client.failover_to(self.brokers[takeover], name)
+        if takeover is None and orphans:
+            self._orphans[name] = list(orphans)
+        return len(orphans)
+
+    def failover_orphans(self, dead: str, adopter: str) -> int:
+        """Fail the clients orphaned by *dead*'s crash over to *adopter*.
+
+        Called by the failure detector when a missed lease is observed;
+        returns the number of clients adopted (0 when the crash already
+        had a scripted takeover or the stash was consumed).
+        """
+        orphans = self._orphans.pop(dead, [])
+        for client in orphans:
+            client.failover_to(self.brokers[adopter], dead)
         return len(orphans)
 
     def restart_broker(self, name: str) -> int:
@@ -204,7 +240,36 @@ class PubSubNetwork:
         re-attach automatically — a recovered border broker is just a
         broker again; move clients back with ``client.move_to(...)``.
         """
+        restore = getattr(self.runtime, "restore_broker", None)
+        if restore is not None:
+            restore(name)
+        self._orphans.pop(name, None)
+        if self.failure_detector is not None:
+            self.failure_detector.broker_restarted(name)
         return self.brokers[name].restart()
+
+    def enable_failure_detection(
+        self,
+        heartbeat_interval: float,
+        lease_timeout: float,
+        until: float,
+    ) -> "FailureDetector":
+        """Start heartbeat/lease failure detection with a bounded horizon.
+
+        Every ``heartbeat_interval`` (starting now, ending at *until*)
+        each live broker beacons its neighbours, then every live broker
+        checks its leases: a neighbour not heard from for more than
+        ``lease_timeout`` is *suspected*, and the first (lowest-named)
+        observer adopts the suspect's orphaned clients via
+        :meth:`failover_orphans` — the crash transition is observed, not
+        scripted.  The horizon keeps ``settle()`` terminating: ticks are
+        pre-scheduled, never self-rescheduling, so both the simulator's
+        drain and the virtual-time asyncio drive consume them
+        identically.  Returns the detector (see its ``detections``).
+        """
+        detector = FailureDetector(self, heartbeat_interval, lease_timeout, until)
+        self.failure_detector = detector
+        return detector
 
     # ------------------------------------------------------------------
     # Execution control
@@ -227,7 +292,12 @@ class PubSubNetwork:
         return self.runtime.settle(max_events=max_events)
 
     def close(self) -> None:
-        """Release the runtime's resources (a no-op for the simulator)."""
+        """Release the runtime's resources and close any recovery stores."""
+        if self.failure_detector is not None:
+            self.failure_detector.cancel()
+        for broker in self.brokers.values():
+            if broker.recovery is not None:
+                broker.recovery.close()
         self.runtime.close()
 
     # ------------------------------------------------------------------
@@ -245,3 +315,93 @@ class PubSubNetwork:
         return "PubSubNetwork(brokers={}, clients={}, t={:.3f})".format(
             len(self.brokers), len(self.clients), self.clock.now
         )
+
+
+class FailureDetector:
+    """Heartbeat/lease failure detection over a :class:`PubSubNetwork`.
+
+    At every tick each live broker emits one :class:`~repro.messages.
+    control.Heartbeat` per neighbour link (sorted order), then each live
+    broker — again in sorted order — checks its leases: a neighbour not
+    heard from within ``lease_timeout`` is suspected exactly once, the
+    detection is recorded in :attr:`detections`, and the observing
+    broker adopts the suspect's orphaned clients.  The lease baseline is
+    the detector's start time, so a silent-but-healthy neighbour is not
+    suspected before it ever had a chance to beacon.
+
+    The tick schedule is **bounded and pre-computed** (``start``,
+    ``start + interval`` ... up to ``until``): both backends' settle
+    semantics run every remaining event to quiescence, so a
+    self-rescheduling timer would never let ``settle()`` return.  All
+    scheduling goes through the runtime-agnostic
+    :class:`~repro.runtime.protocols.Clock` protocol — the simulator and
+    the virtual-time asyncio clock order ticks identically
+    ``(time, insertion order)``, which is what keeps failure-schedule
+    reports byte-identical across backends.
+    """
+
+    def __init__(
+        self,
+        network: PubSubNetwork,
+        heartbeat_interval: float,
+        lease_timeout: float,
+        until: float,
+    ) -> None:
+        if heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if lease_timeout <= heartbeat_interval:
+            raise ValueError(
+                "lease_timeout must exceed heartbeat_interval "
+                "(a lease shorter than one beacon period suspects everyone)"
+            )
+        self.network = network
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.lease_timeout = float(lease_timeout)
+        self.started_at = network.now
+        self.until = float(until)
+        #: (time, suspect, observer) per first-time suspicion.
+        self.detections: List[Tuple[float, str, str]] = []
+        self._suspected: Set[str] = set()
+        self._handles: List[Any] = []
+        tick_time = self.started_at
+        while tick_time <= self.until + 1e-9:
+            self._handles.append(
+                network.clock.schedule_at(
+                    tick_time, self._tick, label="failure-detector-tick"
+                )
+            )
+            tick_time += self.heartbeat_interval
+
+    def _tick(self) -> None:
+        now = self.network.now
+        brokers = self.network.brokers
+        for name in sorted(brokers):
+            brokers[name].emit_heartbeats()
+        for name in sorted(brokers):
+            observer = brokers[name]
+            if observer.is_crashed:
+                continue
+            for neighbour in observer.neighbours():
+                if neighbour in self._suspected:
+                    continue
+                last_heard = observer.heartbeat_last_heard.get(
+                    neighbour, self.started_at
+                )
+                if now - last_heard > self.lease_timeout + 1e-9:
+                    self._suspected.add(neighbour)
+                    self.detections.append((now, neighbour, name))
+                    self.network.failover_orphans(neighbour, adopter=name)
+
+    def suspected(self) -> List[str]:
+        """Brokers currently suspected dead, sorted."""
+        return sorted(self._suspected)
+
+    def broker_restarted(self, name: str) -> None:
+        """A suspect came back: clear it so a later crash is re-detectable."""
+        self._suspected.discard(name)
+
+    def cancel(self) -> None:
+        """Cancel every remaining tick (idempotent)."""
+        for handle in self._handles:
+            handle.cancel()
+        self._handles = []

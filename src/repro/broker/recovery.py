@@ -34,6 +34,7 @@ a full encode/decode round trip.
 from __future__ import annotations
 
 import json
+import os
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.location_filter import LocationDependentSubscribe
@@ -41,7 +42,13 @@ from repro.core.logical import LogicalSubscriptionState
 from repro.filters.filter import Filter
 from repro.filters.wire import filter_from_wire, filter_to_wire
 from repro.messages.base import Message, MessageKind
-from repro.messages.wire import decode_message, encode_message, message_from_payload
+from repro.messages.wire import (
+    FRAME_HEADER_SIZE,
+    decode_frame_payload,
+    decode_message,
+    encode_message,
+    message_from_payload,
+)
 
 #: One snapshotted routing-table row: (filter, destination, subjects, seq).
 SnapshotRow = Tuple[Filter, str, Tuple[str, ...], int]
@@ -280,12 +287,22 @@ class RecoveryStore:
     exercises the full wire round trip.  :meth:`install_snapshot`
     truncates the log prefix the snapshot covers — the paper's usual
     checkpoint-plus-tail layout.
+
+    This in-memory implementation is the default test double; it doubles
+    as the storage *interface*.  Durable backends
+    (:class:`DiskRecoveryStore`) override the ``_persist_record`` /
+    ``_persist_snapshot`` / ``close`` hooks — everything the broker
+    calls (`append`, `install_snapshot`, `snapshot`, `log_tail`) stays
+    on the base class, so the two stores are behaviourally
+    interchangeable.
     """
 
     def __init__(self, broker_name: str) -> None:
         self.broker_name = broker_name
         self._snapshot_bytes: Optional[bytes] = None
-        self._log: List[bytes] = []
+        #: Retained records as (sequence, encoded bytes) pairs, ascending
+        #: by sequence — truncation never re-decodes a record.
+        self._log: List[Tuple[int, bytes]] = []
         self._next_sequence = 1
         self.snapshot_count = 0
 
@@ -304,20 +321,27 @@ class RecoveryStore:
             entry=entry,
         )
         self._next_sequence += 1
-        self._log.append(encode_message(record))
+        data = encode_message(record)
+        self._log.append((record.sequence, data))
+        self._persist_record(data)
         return record
 
     def install_snapshot(self, snapshot: RoutingSnapshot) -> None:
-        """Store *snapshot* and drop the log prefix it covers."""
-        self._snapshot_bytes = encode_message(snapshot)
+        """Store *snapshot* and drop the log prefix it covers.
+
+        The log is kept ascending by sequence, so the covered records
+        are a prefix; scanning back from the end makes truncation
+        O(tail) without decoding a single retained record.
+        """
+        data = encode_message(snapshot)
+        self._snapshot_bytes = data
         covered = snapshot.log_index
-        self._log = [
-            data
-            for data in self._log
-            if AdminLogRecord.from_wire(json.loads(data.decode("utf-8"))).sequence
-            > covered
-        ]
+        cut = len(self._log)
+        while cut and self._log[cut - 1][0] > covered:
+            cut -= 1
+        del self._log[:cut]
         self.snapshot_count += 1
+        self._persist_snapshot(data)
 
     def snapshot(self) -> Optional[RoutingSnapshot]:
         """Decode and return the stored snapshot, or ``None``."""
@@ -331,7 +355,7 @@ class RecoveryStore:
     def log_tail(self) -> List[AdminLogRecord]:
         """Decode the retained log records, in append order."""
         records = []
-        for data in self._log:
+        for _, data in self._log:
             decoded = decode_message(data)
             if not isinstance(decoded, AdminLogRecord):
                 raise TypeError("recovery log holds a non-log message")
@@ -345,7 +369,186 @@ class RecoveryStore:
     def stored_bytes(self) -> int:
         """Total persisted size: snapshot plus retained log, in bytes."""
         total = len(self._snapshot_bytes) if self._snapshot_bytes else 0
-        return total + sum(len(data) for data in self._log)
+        return total + sum(len(data) for _, data in self._log)
+
+    # -- storage hooks (no-ops for the in-memory double) ----------------
+
+    def _persist_record(self, data: bytes) -> None:
+        """Called after a record is appended, with its encoded bytes."""
+
+    def _persist_snapshot(self, data: bytes) -> None:
+        """Called after a snapshot is installed, with its encoded bytes."""
+
+    def close(self) -> None:
+        """Release any backing resources (files); idempotent."""
+
+
+class DiskRecoveryStore(RecoveryStore):
+    """File-backed recovery store: atomic snapshot plus fsync'd journal.
+
+    Layout, under ``<root>/<broker_name>/``:
+
+    * ``snapshot.bin`` — the wire-encoded :class:`RoutingSnapshot`,
+      replaced atomically (write to ``snapshot.bin.tmp``, flush+fsync,
+      :func:`os.replace`) so a crash mid-write leaves either the old or
+      the new snapshot, never a torn one.  A torn/undecodable snapshot
+      found at open time is ignored — recovery falls back to replaying
+      the full journal from empty tables.
+    * ``journal.log`` — append-only length-prefixed records, the same
+      frame format the asyncio transport puts on TCP
+      (:func:`~repro.messages.wire.encode_frame`).  Each append is
+      ``write + flush + fsync`` — the fsync point *is* the commit point.
+      The journal is never physically compacted; a snapshot truncates it
+      *logically* via ``log_index``, which is what makes the
+      torn-snapshot fallback safe (the full history is still on disk).
+
+    Opening a directory with existing files recovers from them: the
+    journal is scanned frame by frame, a torn final record (short
+    header, short payload, or undecodable bytes) is discarded and the
+    file truncated back to the last complete record, and the in-memory
+    mirror / sequence counter resume exactly where the last fsync
+    landed.
+    """
+
+    SNAPSHOT_NAME = "snapshot.bin"
+    JOURNAL_NAME = "journal.log"
+
+    def __init__(self, broker_name: str, root: str) -> None:
+        super().__init__(broker_name)
+        self.directory = os.path.join(root, broker_name)
+        os.makedirs(self.directory, exist_ok=True)
+        self.counters: Dict[str, int] = {
+            "disk_bytes_written": 0,
+            "disk_records_recovered": 0,
+            "disk_torn_records": 0,
+            "disk_torn_snapshots": 0,
+            "disk_snapshots_written": 0,
+        }
+        self._snapshot_path = os.path.join(self.directory, self.SNAPSHOT_NAME)
+        self._journal_path = os.path.join(self.directory, self.JOURNAL_NAME)
+        self._journal = None
+        self._load()
+
+    # -- recovery from existing files ------------------------------------
+
+    def _load(self) -> None:
+        covered = self._load_snapshot()
+        self._load_journal(covered)
+
+    def _load_snapshot(self) -> int:
+        """Adopt an existing snapshot file; returns the log index it covers."""
+        if not os.path.exists(self._snapshot_path):
+            return 0
+        with open(self._snapshot_path, "rb") as handle:
+            data = handle.read()
+        try:
+            decoded = decode_message(data)
+            if not isinstance(decoded, RoutingSnapshot):
+                raise TypeError("snapshot file holds a non-snapshot message")
+            if decoded.broker != self.broker_name:
+                raise ValueError("snapshot file belongs to another broker")
+        except Exception:
+            # Torn or foreign snapshot: ignore it entirely; the journal
+            # still holds the full history (it is only truncated
+            # logically), so replay-from-empty recovers the same state.
+            self.counters["disk_torn_snapshots"] += 1
+            return 0
+        self._snapshot_bytes = data
+        self.snapshot_count += 1
+        return decoded.log_index
+
+    def _load_journal(self, covered: int) -> None:
+        """Scan the journal, keep records past *covered*, drop a torn tail."""
+        valid_end = 0
+        highest = covered
+        if os.path.exists(self._journal_path):
+            with open(self._journal_path, "rb") as handle:
+                raw = handle.read()
+            offset = 0
+            while True:
+                header = raw[offset : offset + FRAME_HEADER_SIZE]
+                if not header:
+                    break
+                if len(header) < FRAME_HEADER_SIZE:
+                    self.counters["disk_torn_records"] += 1
+                    break
+                try:
+                    length = decode_frame_payload(header)
+                except Exception:
+                    self.counters["disk_torn_records"] += 1
+                    break
+                payload = raw[
+                    offset + FRAME_HEADER_SIZE : offset + FRAME_HEADER_SIZE + length
+                ]
+                if len(payload) < length:
+                    self.counters["disk_torn_records"] += 1
+                    break
+                try:
+                    decoded = decode_message(payload)
+                    if not isinstance(decoded, AdminLogRecord):
+                        raise TypeError("journal frame holds a non-log message")
+                except Exception:
+                    self.counters["disk_torn_records"] += 1
+                    break
+                offset += FRAME_HEADER_SIZE + length
+                valid_end = offset
+                highest = max(highest, decoded.sequence)
+                if decoded.sequence > covered:
+                    self._log.append((decoded.sequence, payload))
+                self.counters["disk_records_recovered"] += 1
+            self._journal = open(self._journal_path, "r+b")
+            self._journal.truncate(valid_end)
+            self._journal.seek(valid_end)
+        else:
+            self._journal = open(self._journal_path, "wb")
+        self._next_sequence = highest + 1
+
+    # -- storage hooks ----------------------------------------------------
+
+    def _persist_record(self, data: bytes) -> None:
+        frame = len(data).to_bytes(FRAME_HEADER_SIZE, "big") + data
+        self._journal.write(frame)
+        self._journal.flush()
+        os.fsync(self._journal.fileno())
+        self.counters["disk_bytes_written"] += len(frame)
+
+    def _persist_snapshot(self, data: bytes) -> None:
+        tmp_path = self._snapshot_path + ".tmp"
+        with open(tmp_path, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self._snapshot_path)
+        self._fsync_directory()
+        self.counters["disk_bytes_written"] += len(data)
+        self.counters["disk_snapshots_written"] += 1
+
+    def _fsync_directory(self) -> None:
+        # Persist the rename itself; best-effort (not every platform
+        # allows fsync on a directory fd).
+        try:
+            fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+    def disk_bytes(self) -> int:
+        """Bytes currently on disk (journal including covered prefix)."""
+        total = 0
+        for path in (self._snapshot_path, self._journal_path):
+            if os.path.exists(path):
+                total += os.path.getsize(path)
+        return total
+
+    def close(self) -> None:
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
 
 
 class ReplaySink:

@@ -7,14 +7,23 @@ deterministic fault schedules (:class:`repro.runtime.faults.FaultModel`).
 Two scenarios:
 
 * **crash/restart** (:func:`run_crash_restart`) — a durable subscriber's
-  border broker crashes mid-workload; its clients fail over to a
-  neighbour (durable subscriptions are adopted seamlessly, sequence
-  numbering intact), the broker restarts from snapshot + journal replay
-  with byte-identical routing tables, and the clients re-home through
-  the ordinary relocation protocol.  The acceptance bar: no durable
-  subscriber permanently loses a matching notification, no duplicates
-  reach the application, and the recovered tables equal the pre-crash
-  ones byte for byte.
+  border broker goes dark mid-workload.  Nobody scripts the takeover:
+  the heartbeat/lease failure detector
+  (:class:`repro.broker.network.FailureDetector`) observes the missed
+  leases and the detecting neighbour adopts the orphaned clients,
+  replaying its retained in-flight forwarding window so notifications
+  that died *inside* the crashed broker still reach the durable
+  subscribers.  The broker then restarts from snapshot + journal replay
+  with byte-identical routing tables and the clients re-home through the
+  ordinary relocation protocol.  The acceptance bar: the crash is
+  *detected* (not assumed), no durable subscriber permanently loses a
+  matching notification — including the publish round fired while the
+  frames to the dead broker were still in flight — no duplicates reach
+  the application, and the recovered tables equal the pre-crash ones
+  byte for byte.  With ``FailureScheduleConfig.storage_dir`` set the
+  recovery stores are disk-backed
+  (:class:`repro.broker.recovery.DiskRecoveryStore`); the report must
+  not change.
 * **partition window** (:func:`run_partition`) — a scheduled link-down
   window silently eats notifications in flight to a *plain* (at-most-
   once) subscriber.  The bar here is *attribution*, not zero loss: every
@@ -27,9 +36,10 @@ Two scenarios:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
-from repro.broker.recovery import encode_table
+from repro.broker.base import BrokerConfig
+from repro.broker.recovery import DiskRecoveryStore, RecoveryStore, encode_table
 from repro.experiments.backends import build_network
 from repro.filters.filter import Filter
 from repro.messages.base import MessageKind
@@ -55,6 +65,19 @@ class FailureScheduleConfig:
     publish_gap: float = 0.2
     partition_span: Tuple[int, int] = (2, 4)
     seed: int = 11
+    #: Crash scenario: heartbeat beacon spacing and the lease a silent
+    #: neighbour is allowed before it is suspected.  The detection
+    #: window bounds the detector's tick schedule (both clocks consume
+    #: a pre-scheduled tick list, so the schedule must be finite).
+    heartbeat_interval: float = 0.5
+    lease_timeout: float = 1.2
+    detection_window: float = 2.0
+    #: Per-neighbour in-flight retention window (unacked forwarded
+    #: notifications a broker keeps for takeover replay).
+    retention_window: int = 32
+    #: Root directory for disk-backed recovery stores (``None``: the
+    #: in-memory store).
+    storage_dir: Optional[str] = None
 
 
 @dataclass
@@ -69,13 +92,21 @@ class CrashRestartResult:
     no_duplicates: bool
     fifo: bool
     counterpart_garbage_collected: bool
+    detection_time: Optional[float]
+    detected_by: Optional[str]
     report: RecoveryReport
 
     @property
+    def detected(self) -> bool:
+        """Did a lease observer (not the script) notice the crash?"""
+        return self.detection_time is not None
+
+    @property
     def durable_guarantees_hold(self) -> bool:
-        """Zero loss, exactly-once, FIFO and byte-identical recovery."""
+        """Detected crash, zero loss, exactly-once, FIFO, identical recovery."""
         return (
-            self.complete
+            self.detected
+            and self.complete
             and self.no_duplicates
             and self.fifo
             and self.tables_identical
@@ -85,16 +116,23 @@ class CrashRestartResult:
 
     def format_text(self) -> str:
         """Render the walk-through summary."""
+        if self.detected:
+            detection = "by {} at t={:.3f}".format(self.detected_by, self.detection_time)
+        else:
+            detection = "never observed"
         lines = [
             "crash/restart with durable subscribers",
             "  delivered / expected:        {} / {}".format(
                 self.delivered_total, self.expected_total
             ),
+            "  crash detected:              {}".format(detection),
             "  journal records replayed:    {}".format(self.log_replayed),
             "  recovered tables identical:  {}".format(self.tables_identical),
+            "  retained forwards replayed:  {}".format(self.report.retention_replayed),
             "  durable deliveries lost:     {}".format(self.report.deliveries_lost),
             "  duplicates suppressed:       {}".format(self.report.duplicates_suppressed),
             "  sequence gaps detected:      {}".format(self.report.gaps_detected),
+            "  unfilled gap ranges:         {}".format(self.report.gap_ranges),
             "  dropped while down:          {}".format(self.report.dropped_while_down),
             "  completeness:                {}".format(self.complete),
             "  no duplicates:               {}".format(self.no_duplicates),
@@ -154,15 +192,20 @@ def run_crash_restart(
     config: FailureScheduleConfig = FailureScheduleConfig(),
     runtime_factory: Optional[RuntimeFactory] = None,
 ) -> CrashRestartResult:
-    """Crash a border broker mid-workload; fail over, restart, re-home."""
+    """Crash a border broker mid-workload; detect, fail over, restart, re-home."""
     edge = "B{}".format(config.brokers)
     network = build_network(
         line_topology(config.brokers),
         strategy="covering",
         latency=config.latency,
         runtime_factory=runtime_factory,
+        config=BrokerConfig(forward_retention=config.retention_window),
     )
-    network.enable_recovery()
+    store_factory: Optional[Callable[[str], RecoveryStore]] = None
+    if config.storage_dir is not None:
+        storage_dir = config.storage_dir
+        store_factory = lambda name: DiskRecoveryStore(name, storage_dir)  # noqa: E731
+    network.enable_recovery(store_factory=store_factory)
 
     producer = network.add_client("producer", edge)
     producer.advertise({"topic": "news"})
@@ -189,8 +232,19 @@ def run_crash_restart(
         encode_table(border.subscription_table),
         encode_table(border.advertisement_table),
     )
+    # Nobody scripts the takeover from here on: the lease detector has
+    # to notice the silence.  The publish round fired immediately after
+    # the crash is still in flight toward the dead broker — those
+    # notifications die inside it, and only the upstream neighbour's
+    # retained forwarding window can bring them back at takeover.
+    detector = network.enable_failure_detection(
+        config.heartbeat_interval,
+        config.lease_timeout,
+        until=network.now + config.detection_window,
+    )
     crash_time = network.now
-    network.crash_broker("B1", takeover="B2")
+    network.crash_broker("B1")
+    publish_round("in-flight")
     network.settle()
 
     publish_round("while-down")
@@ -230,6 +284,10 @@ def run_crash_restart(
         for broker in network.brokers.values()
         for record in broker.relocation_records
     )
+    retention_replayed = sum(
+        broker.counters.get("retention_replayed", 0)
+        for broker in network.brokers.values()
+    )
     report = recovery_report(
         border,
         network.trace,
@@ -238,20 +296,29 @@ def run_crash_restart(
         clients=(consumer, late),
         deliveries_lost=node_loss.lost_count,
         redelivered=redelivered,
+        retention_replayed=retention_replayed,
     )
     counterparts_collected = not any(
         broker.has_counterparts() for broker in network.brokers.values()
     )
+    detection_time: Optional[float] = None
+    detected_by: Optional[str] = None
+    for time, suspect, observer in detector.detections:
+        if suspect == "B1":
+            detection_time, detected_by = time, observer
+            break
     network.close()
     return CrashRestartResult(
         delivered_total=len(consumer.received) + len(late.received),
-        expected_total=2 * 3 * config.notifications_per_phase,
+        expected_total=2 * 4 * config.notifications_per_phase,
         tables_identical=tables_identical,
         log_replayed=report.log_replayed,
         complete=complete,
         no_duplicates=no_duplicates,
         fifo=fifo,
         counterpart_garbage_collected=counterparts_collected,
+        detection_time=detection_time,
+        detected_by=detected_by,
         report=report,
     )
 
@@ -319,5 +386,32 @@ def run(
     )
 
 
-if __name__ == "__main__":  # pragma: no cover - manual invocation helper
-    print(run().format_text())
+if __name__ == "__main__":  # pragma: no cover - manual / CI invocation helper
+    import argparse
+    import sys
+    import tempfile
+
+    from repro.runtime.factory import BACKENDS
+    from repro.runtime.factory import runtime_factory as _factory_for
+
+    parser = argparse.ArgumentParser(description="Run the failure-schedule family.")
+    parser.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default=None,
+        help="runtime backend (default: the simulator)",
+    )
+    parser.add_argument(
+        "--disk-store",
+        action="store_true",
+        help="use disk-backed recovery stores in a temporary directory",
+    )
+    arguments = parser.parse_args()
+    factory = None if arguments.backend is None else _factory_for(arguments.backend)
+    if arguments.disk_store:
+        with tempfile.TemporaryDirectory() as tmpdir:
+            result = run(FailureScheduleConfig(storage_dir=tmpdir), factory)
+    else:
+        result = run(runtime_factory=factory)
+    print(result.format_text())
+    sys.exit(0 if result.passed else 1)

@@ -18,6 +18,10 @@ class MessageKind(enum.Enum):
     NOTIFICATION = "notification"
     ADMIN = "admin"
     MOBILITY = "mobility"
+    #: Liveness / reliability plumbing (heartbeats, forwarding acks):
+    #: never journaled, never routed — link-local traffic between
+    #: directly connected brokers.
+    CONTROL = "control"
 
 
 class Message:

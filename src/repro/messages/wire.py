@@ -54,6 +54,7 @@ def _message_types() -> Dict[str, Type[Message]]:
         LocationDependentUnsubscribe,
     )
     from repro.messages.admin import Advertise, Subscribe, Unadvertise, Unsubscribe
+    from repro.messages.control import ForwardAck, Heartbeat, SequencedForward
     from repro.messages.mobility import (
         FetchRequest,
         LocationUpdate,
@@ -79,6 +80,9 @@ def _message_types() -> Dict[str, Type[Message]]:
         LocationDependentUnsubscribe,
         RoutingSnapshot,
         AdminLogRecord,
+        Heartbeat,
+        SequencedForward,
+        ForwardAck,
     )
     return {message_type.__name__: message_type for message_type in types}
 

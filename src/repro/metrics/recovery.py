@@ -24,7 +24,7 @@ store, and then need three kinds of numbers:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.messages.base import MessageKind
 from repro.runtime.trace import TraceRecorder
@@ -63,6 +63,16 @@ class RecoveryReport:
     duplicates_suppressed: int = 0
     gaps_detected: int = 0
     redelivered: int = 0
+    #: Per-subscription sequence ranges that were detected as gaps and
+    #: never filled by a redelivery — *which* deliveries went missing,
+    #: not just how many times a gap was noticed.
+    gap_ranges: Dict[str, List[Tuple[int, int]]] = field(default_factory=dict)
+    #: Retained in-flight forwards replayed to the takeover broker.
+    retention_replayed: int = 0
+    #: Storage-backend counters (``DiskRecoveryStore.counters``: bytes
+    #: written, records recovered, torn records tolerated) — empty for
+    #: the in-memory test double.
+    store_counters: Dict[str, int] = field(default_factory=dict)
 
     @property
     def outage_duration(self) -> Optional[float]:
@@ -74,7 +84,7 @@ class RecoveryReport:
     @property
     def durable_zero_loss(self) -> bool:
         """Did every durable subscriber end up with a gap-free history?"""
-        return self.deliveries_lost == 0
+        return self.deliveries_lost == 0 and not self.gap_ranges
 
     @property
     def total_dropped(self) -> int:
@@ -95,7 +105,13 @@ class RecoveryReport:
             "deliveries_lost": self.deliveries_lost,
             "duplicates_suppressed": self.duplicates_suppressed,
             "gaps_detected": self.gaps_detected,
+            "gap_ranges": {
+                subscription_id: [list(pair) for pair in ranges]
+                for subscription_id, ranges in sorted(self.gap_ranges.items())
+            },
             "redelivered": self.redelivered,
+            "retention_replayed": self.retention_replayed,
+            "store_counters": dict(self.store_counters),
             "durable_zero_loss": self.durable_zero_loss,
         }
 
@@ -108,6 +124,7 @@ def recovery_report(
     clients: Iterable[Any] = (),
     deliveries_lost: int = 0,
     redelivered: int = 0,
+    retention_replayed: Optional[int] = None,
 ) -> RecoveryReport:
     """Assemble a :class:`RecoveryReport` for one outage of *broker*.
 
@@ -119,10 +136,21 @@ def recovery_report(
     """
     from repro.metrics.counters import delivery_dedup_breakdown
 
+    clients = tuple(clients)
     dedup = delivery_dedup_breakdown(clients)
     dropped = dropped_by_reason(
         trace, since=crash_time, until=restart_time
     )
+    gap_ranges: Dict[str, List[Tuple[int, int]]] = {}
+    for client in clients:
+        collector = getattr(client, "unfilled_gap_ranges", None)
+        if collector is None:
+            continue
+        for subscription_id in client.subscription_ids():
+            unfilled = collector(subscription_id)
+            if unfilled:
+                gap_ranges[subscription_id] = unfilled
+    store = getattr(broker, "recovery", None)
     return RecoveryReport(
         broker=broker.name,
         crash_time=crash_time,
@@ -133,5 +161,12 @@ def recovery_report(
         deliveries_lost=deliveries_lost,
         duplicates_suppressed=dedup["duplicates_suppressed"],
         gaps_detected=dedup["gaps_detected"],
+        gap_ranges=gap_ranges,
         redelivered=redelivered,
+        retention_replayed=(
+            broker.counters.get("retention_replayed", 0)
+            if retention_replayed is None
+            else retention_replayed
+        ),
+        store_counters=dict(getattr(store, "counters", {}) or {}),
     )

@@ -342,6 +342,14 @@ class AioChannel:
         #: :meth:`AioRuntime.set_broker_down`) frames are dropped at send
         #: time instead of being enqueued.
         self.down = False
+        #: When ``True`` (the *target* broker crashed, see
+        #: :meth:`AioRuntime.teardown_broker`) the channel's transport is
+        #: torn down and frames are dropped at their scheduled *delivery*
+        #: time — the moment the dead process would have read them —
+        #: matching the simulator's receive-time gating byte for byte.
+        #: Unlike ``down``, frames sent before the crash and scheduled to
+        #: arrive after it are dropped too (they reach a dead process).
+        self.torn = False
         self._started = False
         # FIFO clamp: delivery times on one channel never decrease.
         self._last_delivery_time = runtime.clock.now
@@ -410,6 +418,15 @@ class AioChannel:
     def _feed_frame(self, frame: bytes) -> None:
         """Hand the encoded frame to the transport (it is now in flight)."""
         runtime = self.runtime
+        if self.torn:
+            # The receiving broker is down and its transport gone: the
+            # frame dies here, at delivery time, before the in-flight
+            # counter ever increments (so `settle` still terminates).
+            # Decode it for the drop record — attribution needs the
+            # message, and the bytes are about to be discarded anyway.
+            message = decode_message(frame[FRAME_HEADER_SIZE:])
+            self._drop(runtime.clock.now, message, "broker-down")
+            return
         runtime._message_sent()
         if runtime.transport == "memory":
             self._pipe.feed(frame)
@@ -465,6 +482,32 @@ class AioChannel:
             # Yield between messages so channels drain round-robin
             # rather than one channel starving the others.
             await asyncio.sleep(0)
+
+    async def _tear_down(self) -> None:
+        """Crash teardown: kill the transport, future frames drop on arrival.
+
+        The read task, writer and server are closed and the memory pipe
+        replaced, so nothing half-read survives; ``_started`` resets so a
+        later :meth:`AioRuntime.restore_broker` re-establishes the
+        transport (fresh pipe, or a brand-new TCP connection) on the next
+        settle.  The FIFO clamp is deliberately *not* reset — link
+        timing, like the simulator's, is a property of the wire, not of
+        the endpoint's lifecycle.
+        """
+        self.torn = True
+        await self._close()
+        self._started = False
+        self._pipe = _BytePipe()
+        self._backlog = []
+
+    def _re_establish(self) -> None:
+        """Restart teardown's inverse: frames flow again from now on.
+
+        Purely a flag flip — the transport itself comes back lazily via
+        ``_start`` on the next settle, exactly like the initial lazy
+        connection establishment.
+        """
+        self.torn = False
 
     async def _close(self) -> None:
         if self._read_task is not None:
@@ -586,6 +629,44 @@ class AioRuntime:
                 toggled += 1
         return toggled
 
+    def teardown_broker(self, name: str) -> int:
+        """Crash teardown: tear the channels *into* broker *name*.
+
+        The broker-level crash/restart of the simulator backend needs no
+        transport work — the dead broker's ``receive`` gate drops at
+        delivery time.  Here the process model is real: the dead
+        broker's reading ends are closed, and every frame scheduled to
+        arrive on them — including frames already in flight when the
+        crash happened — is dropped at its delivery time with reason
+        ``"broker-down"``, producing the identical trace records.
+        Channels *out* of the dead broker stay up: messages it sent
+        before dying are on the wire and deliver normally, exactly as on
+        the simulator.  Returns the number of channels torn.
+        """
+        torn = 0
+        for channel in self._channels:
+            if channel.target == name and not channel.torn:
+                if not self.loop.is_closed():
+                    self.loop.run_until_complete(channel._tear_down())
+                else:
+                    channel.torn = True
+                torn += 1
+        return torn
+
+    def restore_broker(self, name: str) -> int:
+        """Restart's inverse of :meth:`teardown_broker`.
+
+        Re-establishes the torn channels into *name* (lazily: the
+        transport reconnects on the next settle, like the initial lazy
+        connection).  Returns the number of channels restored.
+        """
+        restored = 0
+        for channel in self._channels:
+            if channel.target == name and channel.torn:
+                channel._re_establish()
+                restored += 1
+        return restored
+
     def settle(self, max_events: int = 1_000_000) -> int:
         """Run until no work remains.
 
@@ -647,6 +728,10 @@ class AioRuntime:
 
     async def _start_channels(self) -> None:
         for channel in self._channels:
+            if channel.torn:
+                # A torn channel has no live endpoint to connect to; it
+                # re-establishes on the first settle after restore_broker.
+                continue
             await channel._start()
 
     def _raise_reader_failure(self) -> None:

@@ -13,6 +13,29 @@ def test_crash_restart_scenario_holds_durable_guarantees():
     assert result.report.routing_rows > 0
 
 
+def test_crash_is_detected_not_scripted():
+    result = failure_schedule.run_crash_restart()
+    assert result.detected
+    assert result.detected_by == "B2"
+    assert result.detection_time is not None
+    # The in-flight publish round died inside the dark broker and came
+    # back through the neighbour's retained forwarding window.
+    assert result.report.retention_replayed > 0
+    assert result.report.gap_ranges == {}
+
+
+def test_disk_backed_store_reproduces_the_memory_report(tmp_path):
+    memory = failure_schedule.run_crash_restart()
+    disk = failure_schedule.run_crash_restart(
+        failure_schedule.FailureScheduleConfig(storage_dir=str(tmp_path))
+    )
+    assert disk.durable_guarantees_hold
+    assert disk.format_text() == memory.format_text()
+    # ...but the disk run actually hit the file system.
+    assert disk.report.store_counters["disk_bytes_written"] > 0
+    assert memory.report.store_counters == {}
+
+
 def test_partition_scenario_attributes_every_loss():
     result = failure_schedule.run_partition()
     assert result.lost > 0

@@ -44,6 +44,7 @@ from repro.broker.recovery import AdminLogRecord, RoutingSnapshot
 from repro.filters.filter import Filter, MatchAll, MatchNone
 from repro.filters.wire import filter_from_wire, filter_to_wire
 from repro.messages.admin import Advertise, Subscribe, Unadvertise, Unsubscribe
+from repro.messages.control import ForwardAck, Heartbeat, SequencedForward
 from repro.messages.mobility import (
     FetchRequest,
     LocationUpdate,
@@ -330,6 +331,25 @@ messages = st.one_of(
         subscription_id=identifiers,
         meta=metas,
     ),
+    st.builds(
+        Heartbeat,
+        sender=identifiers,
+        sent_at=st.floats(0, 1e6, allow_nan=False),
+        meta=metas,
+    ),
+    st.builds(
+        SequencedForward,
+        notification=notifications,
+        sender=identifiers,
+        link_seq=st.integers(1, 100_000),
+        meta=metas,
+    ),
+    st.builds(
+        ForwardAck,
+        sender=identifiers,
+        upto=st.integers(0, 100_000),
+        meta=metas,
+    ),
 )
 
 
@@ -393,6 +413,9 @@ def test_registry_covers_every_concrete_message_type():
         "LocationDependentUnsubscribe",
         "RoutingSnapshot",
         "AdminLogRecord",
+        "Heartbeat",
+        "SequencedForward",
+        "ForwardAck",
     }
     assert expected == set(registry)
     for name, message_type in registry.items():
