@@ -88,6 +88,12 @@ WORKLOAD_FIELDS = (
     "delivered",
     "routing_rows",
     "backend",
+    # Telemetry event counts are deterministic under the sim backend, so
+    # they are gated exactly: a drifting stream means the emission points
+    # changed and BENCH_telemetry.json must be regenerated consciously.
+    "telemetry_events",
+    "span_events",
+    "snapshot_events",
 )
 #: Wall-clock fields (``settle_seconds*``, ``mean_s`` ...) are never gated.
 
@@ -153,7 +159,7 @@ def regenerate(name: str, out_dir: str) -> dict:
         return json.load(handle)
 
 
-def compare(name, old, new, counter_tolerance, ratio_tolerance):
+def compare(name, old, new, counter_tolerance, ratio_tolerance, exact=False):
     """Diff two condensed BENCH documents; returns a list of failure strings."""
     failures = []
     new_by_name = {record["name"]: record for record in new.get("benchmarks", [])}
@@ -193,6 +199,15 @@ def compare(name, old, new, counter_tolerance, ratio_tolerance):
                         )
                     )
             elif kind == "counter":
+                if exact:
+                    if new_value != old_value:
+                        failures.append(
+                            "{}::{}: {} changed {} -> {} (--exact requires "
+                            "byte-identical counters)".format(
+                                name, bench, field, old_value, new_value
+                            )
+                        )
+                    continue
                 limit = old_value * (1.0 + counter_tolerance)
                 if new_value > limit:
                     failures.append(
@@ -233,6 +248,12 @@ def main(argv=None) -> int:
         help="fraction of a committed speedup ratio that must survive (default 0.5)",
     )
     parser.add_argument(
+        "--exact",
+        action="store_true",
+        help="cost counters must match the committed values byte for byte "
+        "(the telemetry-off no-perturbation gate); ratios keep their tolerance",
+    )
+    parser.add_argument(
         "--keep-json",
         action="store_true",
         help="keep the regenerated BENCH files next to the committed ones as BENCH_<name>.new.json",
@@ -257,7 +278,9 @@ def main(argv=None) -> int:
                 json.dump(new, handle, indent=2, sort_keys=True)
                 handle.write("\n")
             print("wrote {}".format(new_path))
-        problems = compare(name, old, new, args.counter_tolerance, args.ratio_tolerance)
+        problems = compare(
+            name, old, new, args.counter_tolerance, args.ratio_tolerance, exact=args.exact
+        )
         if problems:
             failures.extend(problems)
         else:

@@ -27,6 +27,7 @@ keeps the broker's behaviour consistent across all of them.
 
 from __future__ import annotations
 
+import functools
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, Iterable, List, Optional, Sequence, Set, Tuple
@@ -65,11 +66,34 @@ from repro.routing.strategies import RoutingStrategy
 from repro.routing.table import RoutingTable
 from repro.runtime.protocols import Channel, Clock
 from repro.runtime.trace import TraceRecorder
+from repro.telemetry.events import HOP_DELIVER, HOP_DISPATCH, HOP_FORWARD, trace_id_of
+from repro.telemetry.registry import MetricRegistry
 
 
 def subscription_token(client_id: str, subscription_id: str) -> str:
     """The routing subject used for one client subscription."""
     return "{}/{}".format(client_id, subscription_id)
+
+
+def _attributed(method):
+    """Attribute data-plane stats recorded during *method* to this broker.
+
+    Entry points wrapped with this point the process-wide stats facades'
+    hot-path sinks at the broker's :class:`MetricRegistry` for the
+    duration of the call (see :meth:`MetricRegistry.activate`).  Both
+    runtime backends execute broker code on one thread, so the
+    save/restore pair nests safely when one entry point reaches another.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        saved = self.metrics.activate()
+        try:
+            return method(self, *args, **kwargs)
+        finally:
+            MetricRegistry.restore(saved)
+
+    return wrapper
 
 
 # ---------------------------------------------------------------------------
@@ -246,6 +270,15 @@ class Broker:
         self.trace = trace
         self.config = config or BrokerConfig()
 
+        # Observability: every broker owns one metric registry (the
+        # single home for its instrumentation); ``counters`` below is the
+        # registry's counter dict, so existing increment sites feed it
+        # directly.  ``_telemetry`` is the per-broker event emitter,
+        # attached by the network only when telemetry is enabled — every
+        # event hook is a single ``is not None`` check when it is not.
+        self.metrics = MetricRegistry(name)
+        self._telemetry: Optional[Any] = None
+
         # Channel management: neighbour broker name -> outgoing channel.
         self._links: Dict[str, Channel] = {}
 
@@ -273,8 +306,11 @@ class Broker:
         # Relocation bookkeeping (benchmarks read this).
         self.relocation_records: List[RelocationRecord] = []
 
-        # Counters used by tests and diagnostics.
-        self.counters: Dict[str, int] = {
+        # Counters used by tests and diagnostics.  This is *the same
+        # dict* as ``self.metrics.counters`` — the registry sees every
+        # increment without a second write.
+        self.counters: Dict[str, int] = self.metrics.counters
+        self.counters.update({
             "notifications_received": 0,
             "notifications_forwarded": 0,
             "notifications_delivered": 0,
@@ -294,7 +330,7 @@ class Broker:
             "forwards_acked": 0,
             "retention_evicted": 0,
             "retention_replayed": 0,
-        }
+        })
 
     def _init_routing_state(self) -> None:
         """(Re)create every piece of volatile routing state.
@@ -406,6 +442,15 @@ class Broker:
                 self._delta_covers, merging=self._delta_merging
             )
 
+    def attach_telemetry(self, telemetry: Optional[Any]) -> None:
+        """Attach (or with ``None``, detach) the per-broker event emitter.
+
+        *telemetry* is a :class:`repro.telemetry.emitter.BrokerTelemetry`
+        (duck-typed here to keep the broker's imports lean); while
+        attached, the broker emits span/log events through it.
+        """
+        self._telemetry = telemetry
+
     def neighbours(self) -> List[str]:
         """Names of neighbouring brokers, sorted."""
         return sorted(self._links)
@@ -458,6 +503,7 @@ class Broker:
             return
         self.recovery.append(origin, message, self.clock.now)
 
+    @_attributed
     def _dispatch(self, message: Message, from_destination: Optional[str]) -> None:
         if isinstance(message, Notification):
             self.counters["notifications_received"] += 1
@@ -561,6 +607,8 @@ class Broker:
             raise ValueError("broker {} is already down".format(self.name))
         self._crashed = True
         self.crashed_at = self.clock.now
+        if self._telemetry is not None:
+            self._telemetry.log("error", "broker crashed")
         self._init_routing_state()
         self._clients.clear()
         self._counterparts.clear()
@@ -603,6 +651,10 @@ class Broker:
             replayed = len(tail)
             self.counters["recovery_log_replayed"] += replayed
         self._mark_all_forwarding_dirty()
+        if self._telemetry is not None:
+            self._telemetry.log(
+                "info", "broker restarted ({} log records replayed)".format(replayed)
+            )
         return replayed
 
     def attached_clients(self) -> List[Any]:
@@ -659,6 +711,7 @@ class Broker:
             counterpart.created_at = self.clock.now
             self._counterparts[token] = counterpart
 
+    @_attributed
     def client_subscribe(
         self, client_id: str, subscription_id: str, filter_: Filter
     ) -> None:
@@ -673,6 +726,7 @@ class Broker:
         self.subscription_table.add(filter_, client_id, token)
         self._refresh_all_forwarding(exclude=client_id)
 
+    @_attributed
     def client_unsubscribe(self, client_id: str, subscription_id: str) -> None:
         """Withdraw a local client's subscription and propagate the change."""
         registration = self._require_client(client_id)
@@ -693,6 +747,7 @@ class Broker:
         self.subscription_table.remove(record.filter, client_id, token)
         self._refresh_all_forwarding(exclude=client_id)
 
+    @_attributed
     def client_advertise(self, client_id: str, advertisement_id: str, filter_: Filter) -> None:
         """Register a local client's advertisement and flood it to neighbours."""
         registration = self._require_client(client_id)
@@ -704,6 +759,7 @@ class Broker:
         # A new local advertisement can make remote subscriptions routable
         # toward us; nothing to refresh locally (we are the producer side).
 
+    @_attributed
     def client_unadvertise(self, client_id: str, advertisement_id: str) -> None:
         """Withdraw a local client's advertisement."""
         registration = self._require_client(client_id)
@@ -715,6 +771,7 @@ class Broker:
         self.advertisement_table.remove(filter_, client_id, subject)
         self._withdraw_advertisement(filter_, subject, exclude=client_id)
 
+    @_attributed
     def client_publish(self, client_id: str, notification: Notification) -> None:
         """Inject a notification published by a locally attached client."""
         self._require_client(client_id)
@@ -723,6 +780,7 @@ class Broker:
         self.counters["notifications_received"] += 1
         self._handle_notification(notification, from_destination=client_id)
 
+    @_attributed
     def client_moved_subscribe(
         self,
         client_id: str,
@@ -816,6 +874,7 @@ class Broker:
                 started.completed_at = self.clock.now
         self._refresh_all_forwarding(exclude=client_id)
 
+    @_attributed
     def takeover_subscribe(
         self,
         client_id: str,
@@ -1009,9 +1068,24 @@ class Broker:
             matched_entries = self.subscription_table.matching_entries(attributes)
         if from_destination in forward_to:
             forward_to.discard(from_destination)
+        telemetry = self._telemetry
+        if telemetry is not None:
+            telemetry.span(
+                trace_id_of(notification),
+                HOP_DISPATCH,
+                peer=from_destination,
+                attrs={
+                    "matched": len(matched_entries),
+                    "forwards": len(forward_to),
+                    "local_origin": from_destination not in self._links,
+                },
+            )
+            self.metrics.observe("dispatch_fanout", len(forward_to))
         retention = self.config.forward_retention
         for neighbour in sorted(forward_to):
             self.counters["notifications_forwarded"] += 1
+            if telemetry is not None:
+                telemetry.span(trace_id_of(notification), HOP_FORWARD, peer=neighbour)
             if retention is None:
                 self._links[neighbour].send(notification)
             else:
@@ -1135,6 +1209,13 @@ class Broker:
         if registration is None or not registration.attached:
             return
         self.counters["notifications_delivered"] += 1
+        if self._telemetry is not None:
+            self._telemetry.span(
+                trace_id_of(notification),
+                HOP_DELIVER,
+                peer=record.client_id,
+                attrs={"sequence": sequence},
+            )
         if self.trace is not None:
             self.trace.record_delivery(
                 self.clock.now,
@@ -1293,6 +1374,7 @@ class Broker:
                 continue
             self.refresh_forwarding(neighbour)
 
+    @_attributed
     def refresh_forwarding(self, neighbour: str) -> None:
         """Bring the subscriptions forwarded to *neighbour* in line with the tables."""
         if neighbour not in self._links:

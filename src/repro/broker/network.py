@@ -26,6 +26,9 @@ from repro.broker.recovery import RecoveryStore
 from repro.routing.strategies import RoutingStrategy, make_strategy
 from repro.runtime.protocols import Clock, Runtime
 from repro.runtime.trace import TraceRecorder
+from repro.telemetry import TelemetryConfig, active_telemetry_config
+from repro.telemetry.emitter import BrokerTelemetry
+from repro.telemetry.registry import scoped_data_plane_breakdown
 from repro.topology.graph import BrokerGraph
 
 #: Kept for backwards-compatible imports only; the authoritative default
@@ -47,6 +50,7 @@ class PubSubNetwork:
         config: Optional[BrokerConfig] = None,
         batch_links: bool = True,
         runtime: Optional[Runtime] = None,
+        telemetry: Optional[TelemetryConfig] = None,
     ) -> None:
         graph.validate()
         self.graph = graph
@@ -113,6 +117,25 @@ class PubSubNetwork:
         # missed lease (see ``failover_orphans``).
         self._orphans: Dict[str, List[Client]] = {}
         self.failure_detector: Optional[FailureDetector] = None
+
+        # Telemetry: explicit config wins, otherwise the process-wide
+        # default installed with repro.telemetry.enable_telemetry().
+        # When neither is set the network runs dark — no sink, no
+        # emitters, no probes; every broker hook site stays a single
+        # ``is not None`` check (the zero-cost-off guarantee).
+        self.telemetry_sink = None
+        telemetry = telemetry if telemetry is not None else active_telemetry_config()
+        if telemetry is not None:
+            self.telemetry_sink = telemetry.make_sink()
+            for name in sorted(self.brokers):
+                broker = self.brokers[name]
+                broker.attach_telemetry(
+                    BrokerTelemetry(self.telemetry_sink, name, self.clock)
+                )
+            for (source, target), link in sorted(self.links.items()):
+                link.depth_probe = self.brokers[source].metrics.queue_depth_probe(
+                    "{}->{}".format(source, target)
+                )
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -281,20 +304,45 @@ class PubSubNetwork:
 
     def run_until(self, time: float) -> int:
         """Advance execution to *time* (inclusive)."""
-        return self.runtime.run_until(time)
+        events = self.runtime.run_until(time)
+        self._emit_metric_snapshots()
+        return events
 
     def run_for(self, duration: float) -> int:
         """Advance execution by *duration* time units."""
-        return self.runtime.run_until(self.clock.now + duration)
+        return self.run_until(self.clock.now + duration)
 
     def settle(self, max_events: int = 1_000_000) -> int:
         """Run until no events remain (e.g. to let subscriptions propagate)."""
-        return self.runtime.settle(max_events=max_events)
+        events = self.runtime.settle(max_events=max_events)
+        self._emit_metric_snapshots()
+        return events
+
+    def _emit_metric_snapshots(self) -> None:
+        """Stream every broker's current registry state (telemetry only).
+
+        Called at the end of every ``settle``/``run_until`` and once more
+        from :meth:`close`: snapshots are cumulative, so a collector that
+        keeps the latest per broker ends up holding exactly the run's
+        final counters.
+        """
+        if self.telemetry_sink is None:
+            return
+        for name in sorted(self.brokers):
+            broker = self.brokers[name]
+            if broker._telemetry is not None:
+                broker._telemetry.snapshot(broker.metrics)
 
     def close(self) -> None:
         """Release the runtime's resources and close any recovery stores."""
         if self.failure_detector is not None:
             self.failure_detector.cancel()
+        if self.telemetry_sink is not None:
+            self._emit_metric_snapshots()
+            for broker in self.brokers.values():
+                broker.attach_telemetry(None)
+            self.telemetry_sink.close()
+            self.telemetry_sink = None
         for broker in self.brokers.values():
             if broker.recovery is not None:
                 broker.recovery.close()
@@ -310,6 +358,18 @@ class PubSubNetwork:
     def routing_table_sizes(self) -> Dict[str, int]:
         """Routing-table size per broker (used by the routing ablation)."""
         return {name: broker.routing_table_size() for name, broker in self.brokers.items()}
+
+    def data_plane_breakdown(self) -> Dict[str, int]:
+        """Matching/dispatch work attributable to *this* network's brokers.
+
+        Unlike the process-global
+        :func:`repro.metrics.counters.data_plane_breakdown`, this sums the
+        per-broker metric registries, so two concurrently live networks
+        never bleed into each other's numbers.
+        """
+        return scoped_data_plane_breakdown(
+            [self.brokers[name].metrics for name in sorted(self.brokers)]
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "PubSubNetwork(brokers={}, clients={}, t={:.3f})".format(
@@ -390,6 +450,12 @@ class FailureDetector:
                 if now - last_heard > self.lease_timeout + 1e-9:
                     self._suspected.add(neighbour)
                     self.detections.append((now, neighbour, name))
+                    observer.metrics.inc("failure_detections")
+                    if observer._telemetry is not None:
+                        observer._telemetry.log(
+                            "warn",
+                            "suspected {} dead (lease expired)".format(neighbour),
+                        )
                     self.network.failover_orphans(neighbour, adopter=name)
 
     def suspected(self) -> List[str]:

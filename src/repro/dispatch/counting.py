@@ -78,15 +78,15 @@ class CountingMatcher:
                 counts[fid] = count
                 if count == arity:
                     matched.append(fid)
+        stats = dispatch_stats.current
         if index.opaque_fids:
             fid_filter = index.fid_filter
             for fid in index.opaque_fids:
                 # A whole-filter evaluation the index could not answer
                 # from its buckets: counted like the residual evals.
-                dispatch_stats.constraint_evals += 1
+                stats.constraint_evals += 1
                 if fid_filter[fid].matches(attributes):
                     matched.append(fid)
-        stats = dispatch_stats
         stats.matches += 1
         stats.satisfied_predicates += len(satisfied)
         stats.count_increments += increments

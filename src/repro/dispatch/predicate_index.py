@@ -246,8 +246,8 @@ class PredicateIndex:
                     if constraint.matches(value):
                         out.append(pid)
         if evals:
-            dispatch_stats.constraint_evals += evals
-            matching_stats.constraint_evals += evals
+            dispatch_stats.current.constraint_evals += evals
+            matching_stats.current.constraint_evals += evals
         return out
 
     # ------------------------------------------------------------------

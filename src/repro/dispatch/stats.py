@@ -7,15 +7,24 @@ evaluations with bucket lookups and bisections; what little it still
 evaluates directly (residual constraints, interval candidates, opaque
 filters) is counted both here *and* in ``matching_stats.constraint_evals``
 so that a single counter compares fairly across dispatch modes.
+
+Like :mod:`repro.filters.stats`, the process-wide :data:`dispatch_stats`
+is an aggregate facade: hot paths write through ``dispatch_stats.current``
+(a plain :class:`DispatchStats` sink — the broker's own while one of its
+entry points is on the stack, the unattributed base otherwise) and every
+read sums all registered sinks, so the totals are byte-identical to the
+pre-facade globals while per-broker attribution comes for free.
 """
 
 from __future__ import annotations
 
 from typing import Dict
 
+from repro.filters.stats import AggregatedStats, _install_aggregate_properties
+
 
 class DispatchStats:
-    """Process-wide counters for the counting index (see module docstring)."""
+    """Counters for one counting-index sink (see module docstring)."""
 
     __slots__ = (
         "matches",
@@ -24,6 +33,7 @@ class DispatchStats:
         "arity1_fast_matches",
         "constraint_evals",
         "filters_matched",
+        "__weakref__",
     )
 
     def __init__(self) -> None:
@@ -59,5 +69,20 @@ class DispatchStats:
         }
 
 
-#: Global counters incremented by the counting matcher.
-dispatch_stats = DispatchStats()
+class DispatchStatsAggregate(AggregatedStats):
+    """Process-wide view over every dispatch-stats sink."""
+
+    sink_type = DispatchStats
+    fields = DispatchStats.__slots__[:-1]  # without __weakref__
+
+    def snapshot(self) -> Dict[str, int]:
+        # Key order pinned to the historical sink snapshot.
+        return {field: self._total(field) for field in self.fields}
+
+
+_install_aggregate_properties(DispatchStatsAggregate)
+
+
+#: Global facade incremented (through ``.current``) by the counting
+#: matcher; reads sum the base sink and every broker registry's sink.
+dispatch_stats = DispatchStatsAggregate()

@@ -406,12 +406,39 @@ if __name__ == "__main__":  # pragma: no cover - manual / CI invocation helper
         action="store_true",
         help="use disk-backed recovery stores in a temporary directory",
     )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="stream metric snapshots/spans/logs to a live collector "
+        "and print its aggregate summary after the report",
+    )
     arguments = parser.parse_args()
     factory = None if arguments.backend is None else _factory_for(arguments.backend)
-    if arguments.disk_store:
-        with tempfile.TemporaryDirectory() as tmpdir:
-            result = run(FailureScheduleConfig(storage_dir=tmpdir), factory)
+
+    def _execute():
+        if arguments.disk_store:
+            with tempfile.TemporaryDirectory() as tmpdir:
+                return run(FailureScheduleConfig(storage_dir=tmpdir), factory)
+        return run(runtime_factory=factory)
+
+    if arguments.telemetry:
+        from repro.telemetry import TcpSink, TelemetryConfig, telemetry_enabled
+        from repro.telemetry.collector import TelemetryCollector
+
+        collector = TelemetryCollector()
+        host, port = collector.start()
+        try:
+            config = TelemetryConfig(sink_factory=lambda: TcpSink(host, port))
+            with telemetry_enabled(config):
+                result = _execute()
+        finally:
+            collector.stop()
+        print(result.format_text())
+        print()
+        print(collector.aggregate.summary())
+        for log in collector.aggregate.log_list():
+            print("  [{}] {}@{:.3f}: {}".format(log.level, log.broker, log.time, log.text))
     else:
-        result = run(runtime_factory=factory)
-    print(result.format_text())
+        result = _execute()
+        print(result.format_text())
     sys.exit(0 if result.passed else 1)

@@ -9,6 +9,13 @@ expected qualitative shape (for the measured figures).
 discrete-event simulator (default), or the virtual-time asyncio runtime
 over in-memory byte pipes / loopback TCP.  Results are identical on all
 three — the backend-parity CI gate asserts exactly that.
+
+``--telemetry`` starts a live :class:`~repro.telemetry.collector.
+TelemetryCollector`, streams every network's metric snapshots, spans and
+logs to it over framed TCP while the experiments run, and appends the
+collector's aggregate summary plus one causal span tree to the report.
+Event timestamps come from the experiments' (virtual) clocks, so the
+experiment results themselves stay byte-identical with telemetry on.
 """
 
 from __future__ import annotations
@@ -134,10 +141,37 @@ def format_report(outcomes: List[ExperimentOutcome]) -> str:
     return "\n".join(lines)
 
 
+def _run_with_telemetry(quick: bool, backend: str) -> List[ExperimentOutcome]:
+    """Run everything with a live collector attached; print its findings."""
+    from repro.telemetry import TcpSink, TelemetryConfig, telemetry_enabled
+    from repro.telemetry.collector import TelemetryCollector
+    from repro.telemetry.tracing import render_span_tree, trace_ids
+
+    collector = TelemetryCollector(summary_interval=2.0)
+    host, port = collector.start()
+    try:
+        config = TelemetryConfig(sink_factory=lambda: TcpSink(host, port))
+        with telemetry_enabled(config):
+            outcomes = run_all(quick=quick, backend=backend)
+    finally:
+        collector.stop()
+    print(collector.aggregate.summary())
+    sources = collector.aggregate.span_sources()
+    if sources:
+        spans = collector.aggregate.span_list(sources[0])
+        traced = trace_ids(spans)
+        if traced:
+            print()
+            print("sample notification trace (1 of {} in the first stream):".format(len(traced)))
+            print(render_span_tree(spans, traced[0]))
+    return outcomes
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Command-line entry point."""
     argv = argv if argv is not None else sys.argv[1:]
     quick = "--quick" in argv
+    telemetry = "--telemetry" in argv
     backend = "sim"
     if "--backend" in argv:
         index = argv.index("--backend")
@@ -148,7 +182,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         if backend not in BACKENDS:
             print("unknown backend {!r}; expected one of {}".format(backend, ", ".join(BACKENDS)))
             return 2
-    outcomes = run_all(quick=quick, backend=backend)
+    if telemetry:
+        outcomes = _run_with_telemetry(quick=quick, backend=backend)
+    else:
+        outcomes = run_all(quick=quick, backend=backend)
     print(format_report(outcomes))
     return 0 if all(outcome.passed for outcome in outcomes) else 1
 

@@ -117,7 +117,7 @@ class Filter:
         *attributes* is the name/value mapping of a notification (or a
         :class:`~repro.messages.notification.Notification`'s ``attributes``).
         """
-        stats = matching_stats
+        stats = matching_stats.current
         stats.filter_matches += 1
         for name, constraint in self._constraints.items():
             stats.constraint_evals += 1

@@ -22,6 +22,10 @@ class MessageKind(enum.Enum):
     #: never journaled, never routed — link-local traffic between
     #: directly connected brokers.
     CONTROL = "control"
+    #: Observability records (metric snapshots, spans, log events):
+    #: never sent over broker links at all — they travel out-of-band to
+    #: telemetry sinks and collectors (see :mod:`repro.telemetry`).
+    TELEMETRY = "telemetry"
 
 
 class Message:

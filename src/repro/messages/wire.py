@@ -63,6 +63,7 @@ def _message_types() -> Dict[str, Type[Message]]:
         Replay,
     )
     from repro.messages.notification import Notification, SequencedNotification
+    from repro.telemetry.events import LogEvent, MetricSnapshotEvent, SpanEvent
 
     types = (
         Subscribe,
@@ -83,8 +84,30 @@ def _message_types() -> Dict[str, Type[Message]]:
         Heartbeat,
         SequencedForward,
         ForwardAck,
+        MetricSnapshotEvent,
+        SpanEvent,
+        LogEvent,
     )
-    return {message_type.__name__: message_type for message_type in types}
+    return _build_registry(types)
+
+
+def _build_registry(types) -> Dict[str, Type[Message]]:
+    """Build the name -> class map, refusing name collisions.
+
+    The class name is the wire dispatch key: two classes sharing a name
+    would silently shadow each other on decode, so a collision (e.g. a
+    new telemetry event type reusing an existing message name) is a hard
+    error, not a last-one-wins overwrite.
+    """
+    registry: Dict[str, Type[Message]] = {}
+    for message_type in types:
+        name = message_type.__name__
+        if name in registry:
+            raise WireError(
+                "duplicate message type name on the wire: {!r}".format(name)
+            )
+        registry[name] = message_type
+    return registry
 
 
 _REGISTRY: Dict[str, Type[Message]] = {}

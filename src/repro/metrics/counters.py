@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.dispatch.stats import dispatch_stats
+from repro.filters.merging import merge_stats
 from repro.filters.stats import matching_stats
 from repro.messages.base import MessageKind
 from repro.runtime.trace import TraceRecorder
@@ -75,9 +76,16 @@ class MessageCounter:
 
 
 def reset_data_plane_stats() -> None:
-    """Reset the process-wide matching/dispatch counters (benchmark prologue)."""
+    """Reset the process-wide data-plane counters (benchmark prologue).
+
+    Covers all three stat families — matching, dispatch *and* merging.
+    (Merge stats were historically left out, so a benchmark prologue
+    leaked the previous workload's ``try_merge_calls`` into the next;
+    the unified reset goes through every facade.)
+    """
     matching_stats.reset()
     dispatch_stats.reset()
+    merge_stats.reset()
 
 
 def data_plane_breakdown(brokers: Iterable[Any] = ()) -> Dict[str, int]:

@@ -351,6 +351,10 @@ class AioChannel:
         #: arrive after it are dropped too (they reach a dead process).
         self.torn = False
         self._started = False
+        # Telemetry hook: called with the channel's in-flight depth after
+        # each send.  Wired by the network only when telemetry is
+        # enabled, so the off path costs one ``is not None`` check.
+        self.depth_probe: Optional[Callable[[int], None]] = None
         # FIFO clamp: delivery times on one channel never decrease.
         self._last_delivery_time = runtime.clock.now
         # Memory transport state.
@@ -374,6 +378,8 @@ class AioChannel:
         self.sent_count += 1
         runtime = self.runtime
         now = runtime.clock.now
+        if self.depth_probe is not None:
+            self.depth_probe(self.sent_count - self.delivered_count - self.dropped_count)
         if runtime.trace is not None:
             runtime.trace.record_link(now, self.source, self.target, message)
         if self.down:

@@ -81,6 +81,10 @@ class Link:
         # delivery times are nondecreasing by construction (FIFO clamp).
         self._pending: Deque[Tuple[float, Message]] = deque()
         self._flush_scheduled = False
+        # Telemetry hook: called with the link's in-flight depth after
+        # each send.  Wired by the network only when telemetry is
+        # enabled, so the off path costs one ``is not None`` check.
+        self.depth_probe: Optional[Callable[[int], None]] = None
 
     @property
     def name(self) -> str:
@@ -97,6 +101,8 @@ class Link:
         """
         self.sent_count += 1
         now = self.simulator.now
+        if self.depth_probe is not None:
+            self.depth_probe(self.sent_count - self.delivered_count - self.dropped_count)
         if self.trace is not None:
             self.trace.record_link(now, self.source, self.target, message)
         if self.fault_model is not None:

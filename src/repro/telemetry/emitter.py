@@ -1,0 +1,65 @@
+"""Per-broker telemetry emitter.
+
+:class:`BrokerTelemetry` is the thin object a broker holds when
+telemetry is enabled (``broker._telemetry``).  It knows the broker's
+name, the run's clock (virtual-time safe) and the network's sink, and
+turns instrumentation calls into typed events.  When telemetry is
+disabled the broker holds ``None`` instead and every hook site is a
+single ``is not None`` check — the zero-cost-off guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.telemetry.events import LogEvent, MetricSnapshotEvent, SpanEvent
+from repro.telemetry.registry import MetricRegistry
+from repro.telemetry.sinks import TelemetrySink
+
+
+class BrokerTelemetry:
+    """Emits one broker's telemetry events into the network's sink."""
+
+    __slots__ = ("sink", "broker", "clock")
+
+    def __init__(self, sink: TelemetrySink, broker: str, clock: Any) -> None:
+        self.sink = sink
+        self.broker = broker
+        self.clock = clock
+
+    def span(
+        self,
+        trace_id: str,
+        hop: str,
+        peer: Optional[str] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record one hop of a notification's journey at ``clock.now()``."""
+        self.sink.emit(
+            SpanEvent(
+                trace_id=trace_id,
+                broker=self.broker,
+                hop=hop,
+                time=self.clock.now,
+                peer=peer,
+                attrs=attrs,
+            )
+        )
+
+    def log(self, level: str, text: str) -> None:
+        """Record a levelled text event at ``clock.now()``."""
+        self.sink.emit(
+            LogEvent(broker=self.broker, time=self.clock.now, level=level, text=text)
+        )
+
+    def snapshot(self, registry: MetricRegistry) -> None:
+        """Emit the registry's full state as a metric snapshot event."""
+        self.sink.emit(
+            MetricSnapshotEvent(
+                broker=self.broker,
+                time=self.clock.now,
+                counters=registry.counter_snapshot(),
+                gauges=registry.gauge_snapshot(),
+                histograms=registry.histogram_snapshot(),
+            )
+        )

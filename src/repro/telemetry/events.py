@@ -1,0 +1,215 @@
+"""Typed telemetry event records, wire-codable like every other message.
+
+Three event families stream out of an instrumented run:
+
+* :class:`MetricSnapshotEvent` — one broker registry's counters, gauges
+  and histograms at a point in time.  A collector keeps the *latest*
+  snapshot per broker, so its aggregate always equals the end-of-run
+  counters once the final snapshot (emitted at ``network.close()``)
+  arrives.
+* :class:`SpanEvent` — one hop of a notification's journey, keyed by the
+  trace id that rides broker→broker forwards.  The trace id is the
+  notification's global identity ``publisher#publisher_seq`` — it is
+  already on the wire in every forwarded copy, so causal tracing needs
+  **no** message mutation (and telemetry-off runs stay byte-identical).
+* :class:`LogEvent` — a timestamped, levelled text record (crash,
+  restart, failure detection ...).
+
+Events subclass :class:`~repro.messages.base.Message` so the existing
+wire codec (:mod:`repro.messages.wire`) frames them, but they draw their
+ids from a **separate** counter: creating telemetry events must never
+perturb the process-wide message id stream, or enabling telemetry would
+change the ids (and with them the traces) of the actual run.
+
+All timestamps are ``clock.now()`` readings — virtual-time safe and
+therefore identical across the ``sim``, ``aio-memory`` and ``aio-tcp``
+backends.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Optional
+
+from repro.messages.base import Message, MessageKind
+
+#: Span hop kinds, in causal order within one broker.
+HOP_DISPATCH = "dispatch"  #: a broker dequeued + matched the notification
+HOP_FORWARD = "forward"  #: the broker enqueued it toward a neighbour
+HOP_DELIVER = "deliver"  #: the broker handed it to a local client
+
+
+def trace_id_of(notification: Any) -> str:
+    """The trace id riding a notification: ``publisher#publisher_seq``."""
+    return "{}#{}".format(notification.publisher, notification.publisher_seq)
+
+
+class TelemetryEvent(Message):
+    """Base class of all telemetry records (kind ``TELEMETRY``)."""
+
+    kind = MessageKind.TELEMETRY
+
+    __slots__ = ()
+
+    _event_id_counter = itertools.count(1)
+
+    def __init__(self, meta: Optional[Dict[str, Any]] = None) -> None:
+        # Deliberately NOT Message.__init__: telemetry ids come from
+        # their own counter so an instrumented run assigns exactly the
+        # same message ids as an uninstrumented one.
+        self.message_id = next(TelemetryEvent._event_id_counter)
+        self.meta = dict(meta) if meta else {}
+
+    @classmethod
+    def reset_id_counter(cls) -> None:
+        """Reset the telemetry-local id counter (tests only)."""
+        TelemetryEvent._event_id_counter = itertools.count(1)
+
+
+class MetricSnapshotEvent(TelemetryEvent):
+    """One broker's full registry state at time *time*."""
+
+    __slots__ = ("broker", "time", "counters", "gauges", "histograms")
+
+    def __init__(
+        self,
+        broker: str,
+        time: float,
+        counters: Dict[str, int],
+        gauges: Optional[Dict[str, Any]] = None,
+        histograms: Optional[Dict[str, Any]] = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(meta)
+        self.broker = broker
+        self.time = float(time)
+        self.counters: Dict[str, int] = dict(counters)
+        self.gauges: Dict[str, Any] = dict(gauges) if gauges else {}
+        self.histograms: Dict[str, Any] = dict(histograms) if histograms else {}
+
+    def describe(self) -> str:
+        return "MetricSnapshot({}@{:.3f}, {} counters)".format(
+            self.broker, self.time, len(self.counters)
+        )
+
+    def _wire_body(self) -> Dict[str, Any]:
+        return {
+            "broker": self.broker,
+            "time": self.time,
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": dict(sorted(self.histograms.items())),
+        }
+
+    @classmethod
+    def _from_wire_body(cls, payload: Dict[str, Any]) -> "MetricSnapshotEvent":
+        return cls(
+            broker=payload["broker"],
+            time=payload["time"],
+            counters=payload["counters"],
+            gauges=payload.get("gauges"),
+            histograms=payload.get("histograms"),
+        )
+
+
+class SpanEvent(TelemetryEvent):
+    """One hop of one notification's journey (see module docstring).
+
+    ``hop`` is one of :data:`HOP_DISPATCH` / :data:`HOP_FORWARD` /
+    :data:`HOP_DELIVER`; ``peer`` names the other party of the hop (the
+    upstream broker or publishing client for a dispatch, the neighbour
+    for a forward, the client for a delivery).  ``attrs`` carries
+    JSON-friendly extras (matched-row counts, delivery sequence ...).
+    """
+
+    __slots__ = ("trace_id", "broker", "hop", "peer", "time", "attrs")
+
+    def __init__(
+        self,
+        trace_id: str,
+        broker: str,
+        hop: str,
+        time: float,
+        peer: Optional[str] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(meta)
+        self.trace_id = trace_id
+        self.broker = broker
+        self.hop = hop
+        self.time = float(time)
+        self.peer = peer
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+
+    def describe(self) -> str:
+        return "Span({} {}@{:.3f} {} peer={})".format(
+            self.trace_id, self.broker, self.time, self.hop, self.peer
+        )
+
+    def _wire_body(self) -> Dict[str, Any]:
+        body: Dict[str, Any] = {
+            "trace_id": self.trace_id,
+            "broker": self.broker,
+            "hop": self.hop,
+            "time": self.time,
+            "attrs": dict(sorted(self.attrs.items())),
+        }
+        if self.peer is not None:
+            body["peer"] = self.peer
+        return body
+
+    @classmethod
+    def _from_wire_body(cls, payload: Dict[str, Any]) -> "SpanEvent":
+        return cls(
+            trace_id=payload["trace_id"],
+            broker=payload["broker"],
+            hop=payload["hop"],
+            time=payload["time"],
+            peer=payload.get("peer"),
+            attrs=payload.get("attrs"),
+        )
+
+
+class LogEvent(TelemetryEvent):
+    """A timestamped, levelled text record from one broker (or the harness)."""
+
+    __slots__ = ("broker", "time", "level", "text")
+
+    def __init__(
+        self,
+        broker: str,
+        time: float,
+        level: str,
+        text: str,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(meta)
+        self.broker = broker
+        self.time = float(time)
+        self.level = level
+        self.text = text
+
+    def describe(self) -> str:
+        return "Log({}@{:.3f} [{}] {})".format(self.broker, self.time, self.level, self.text)
+
+    def _wire_body(self) -> Dict[str, Any]:
+        return {
+            "broker": self.broker,
+            "time": self.time,
+            "level": self.level,
+            "text": self.text,
+        }
+
+    @classmethod
+    def _from_wire_body(cls, payload: Dict[str, Any]) -> "LogEvent":
+        return cls(
+            broker=payload["broker"],
+            time=payload["time"],
+            level=payload["level"],
+            text=payload["text"],
+        )
+
+
+#: Every concrete telemetry event type, in wire-registry order.
+EVENT_TYPES = (MetricSnapshotEvent, SpanEvent, LogEvent)

@@ -1,0 +1,158 @@
+"""Causal span trees for one notification's journey through the network.
+
+The broker emits :class:`~repro.telemetry.events.SpanEvent` records with
+three hop kinds (see :mod:`repro.telemetry.events`):
+
+* ``dispatch`` — broker B dequeued the notification (peer = the upstream
+  broker it arrived from, or the publishing client at the origin),
+* ``forward`` — broker B enqueued it toward neighbour N (peer = N),
+* ``deliver`` — broker B handed it to local client C (peer = C).
+
+:func:`build_span_tree` reassembles the causal tree: a ``forward`` from
+A with peer B is the parent of the earliest not-yet-claimed ``dispatch``
+at B with peer A and ``time >= forward.time`` (times come from the run's
+clock — virtual-time safe, so the tree is identical across backends).
+``deliver`` hops hang off their broker's ``dispatch``.  The per-hop
+*wait* shown by :func:`render_span_tree` is ``dispatch.time -
+forward.time``: link latency plus queueing delay at the receiver.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.telemetry.events import HOP_DELIVER, HOP_DISPATCH, HOP_FORWARD, SpanEvent
+
+
+class SpanNode:
+    """One dispatch hop plus the forwards/delivers it caused."""
+
+    __slots__ = ("span", "children", "deliveries", "parent_forward")
+
+    def __init__(self, span: SpanEvent, parent_forward: Optional[SpanEvent] = None) -> None:
+        self.span = span
+        self.parent_forward = parent_forward
+        self.children: List["SpanNode"] = []
+        self.deliveries: List[SpanEvent] = []
+
+
+def build_span_tree(spans: Sequence[SpanEvent], trace_id: str) -> List[SpanNode]:
+    """Causal tree(s) of *trace_id* from an unordered span stream.
+
+    Returns the list of roots: normally one (the dispatch at the
+    publisher's broker), but replays from retained forwards can surface
+    extra dispatches with no matching forward — those become additional
+    roots rather than being dropped.
+    """
+    mine = sorted(
+        (span for span in spans if span.trace_id == trace_id),
+        key=lambda span: (span.time, span.message_id),
+    )
+    dispatches = [span for span in mine if span.hop == HOP_DISPATCH]
+    nodes = {id(span): SpanNode(span) for span in dispatches}
+
+    # Match each forward A->B to the earliest unclaimed dispatch at B
+    # with peer A that is not before the forward.
+    claimed: Dict[int, SpanEvent] = {}
+    for span in mine:
+        if span.hop != HOP_FORWARD:
+            continue
+        for dispatch in dispatches:
+            if id(dispatch) in claimed:
+                continue
+            if (
+                dispatch.broker == span.peer
+                and dispatch.peer == span.broker
+                and dispatch.time >= span.time
+            ):
+                claimed[id(dispatch)] = span
+                nodes[id(dispatch)].parent_forward = span
+                break
+
+    # Hang delivers and matched dispatches off their parents.
+    by_broker: Dict[str, List[SpanNode]] = {}
+    for dispatch in dispatches:
+        by_broker.setdefault(dispatch.broker, []).append(nodes[id(dispatch)])
+    for span in mine:
+        if span.hop == HOP_DELIVER:
+            candidates = by_broker.get(span.broker)
+            if candidates:
+                # The latest dispatch at this broker not after the delivery.
+                best = None
+                for node in candidates:
+                    if node.span.time <= span.time:
+                        best = node
+                if best is None:
+                    best = candidates[0]
+                best.deliveries.append(span)
+
+    roots: List[SpanNode] = []
+    for dispatch in dispatches:
+        node = nodes[id(dispatch)]
+        forward = claimed.get(id(dispatch))
+        if forward is None:
+            roots.append(node)
+            continue
+        # Parent dispatch: the one at forward.broker that produced it.
+        parents = by_broker.get(forward.broker, [])
+        parent = None
+        for candidate in parents:
+            if candidate.span.time <= forward.time:
+                parent = candidate
+        if parent is None and parents:
+            parent = parents[0]
+        if parent is None:
+            roots.append(node)
+        else:
+            parent.children.append(node)
+    return roots
+
+
+def _render_node(node: SpanNode, indent: str, lines: List[str]) -> None:
+    span = node.span
+    if node.parent_forward is None:
+        origin = "from {}".format(span.peer) if span.peer else "origin"
+        lines.append(
+            "{}{} @ {:.3f} ({})".format(indent, span.broker, span.time, origin)
+        )
+    else:
+        wait = span.time - node.parent_forward.time
+        lines.append(
+            "{}{} @ {:.3f} (hop from {}, wait {:.3f})".format(
+                indent, span.broker, span.time, node.parent_forward.broker, wait
+            )
+        )
+    child_indent = indent + "  "
+    for delivery in sorted(node.deliveries, key=lambda s: (s.time, s.peer or "")):
+        sequence = delivery.attrs.get("sequence")
+        suffix = " seq={}".format(sequence) if sequence is not None else ""
+        lines.append(
+            "{}-> deliver {} @ {:.3f}{}".format(child_indent, delivery.peer, delivery.time, suffix)
+        )
+    for child in sorted(node.children, key=lambda n: (n.span.time, n.span.broker)):
+        _render_node(child, child_indent, lines)
+
+
+def render_span_tree(spans: Sequence[SpanEvent], trace_id: str) -> str:
+    """A text rendering of the causal tree, one hop per line."""
+    roots = build_span_tree(spans, trace_id)
+    lines: List[str] = ["trace {}".format(trace_id)]
+    if not roots:
+        lines.append("  (no spans)")
+        return "\n".join(lines)
+    for root in roots:
+        _render_node(root, "  ", lines)
+    return "\n".join(lines)
+
+
+def trace_ids(spans: Sequence[Any]) -> List[str]:
+    """Distinct trace ids in first-seen (time, id) order."""
+    ordered = sorted(
+        (span for span in spans if isinstance(span, SpanEvent)),
+        key=lambda span: (span.time, span.message_id),
+    )
+    seen: List[str] = []
+    for span in ordered:
+        if span.trace_id not in seen:
+            seen.append(span.trace_id)
+    return seen

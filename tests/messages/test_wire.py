@@ -416,10 +416,32 @@ def test_registry_covers_every_concrete_message_type():
         "Heartbeat",
         "SequencedForward",
         "ForwardAck",
+        "MetricSnapshotEvent",
+        "SpanEvent",
+        "LogEvent",
     }
     assert expected == set(registry)
     for name, message_type in registry.items():
         assert message_type.__name__ == name
+
+
+def test_registry_rejects_name_collisions():
+    """Wire type names are the dispatch key: two classes sharing a name
+    would silently shadow each other on decode, so the registry builder
+    refuses duplicates (a new telemetry/event type cannot collide with an
+    existing wire name)."""
+    import pytest
+
+    import repro.messages.wire as wire
+
+    class Heartbeat:  # same __name__ as the control-plane Heartbeat
+        pass
+
+    existing = tuple(wire.message_type_registry().values())
+    with pytest.raises(wire.WireError, match="Heartbeat"):
+        wire._build_registry(existing + (Heartbeat,))
+    # The real type set itself is collision-free.
+    assert set(wire._build_registry(existing)) == set(wire.message_type_registry())
 
 
 def test_equality_stays_total_without_a_codec():

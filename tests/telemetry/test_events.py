@@ -1,0 +1,120 @@
+"""Wire round trips for every telemetry event type (Hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.messages.wire import decode_message, encode_frame, encode_message
+from repro.telemetry.events import (
+    EVENT_TYPES,
+    HOP_DELIVER,
+    HOP_DISPATCH,
+    HOP_FORWARD,
+    LogEvent,
+    MetricSnapshotEvent,
+    SpanEvent,
+    TelemetryEvent,
+)
+
+names = st.text(
+    st.characters(min_codepoint=33, max_codepoint=126), min_size=1, max_size=12
+)
+times = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+counter_values = st.integers(min_value=0, max_value=2**40)
+counter_dicts = st.dictionaries(names, counter_values, max_size=6)
+gauge_dicts = st.dictionaries(
+    names,
+    st.fixed_dictionaries({"last": times, "high": times}),
+    max_size=4,
+)
+histogram_dicts = st.dictionaries(
+    names,
+    st.fixed_dictionaries(
+        {
+            "bounds": st.lists(times, max_size=4),
+            "bucket_counts": st.lists(counter_values, max_size=5),
+            "count": counter_values,
+            "sum": times,
+            "max": times,
+        }
+    ),
+    max_size=3,
+)
+attr_values = st.one_of(
+    st.integers(min_value=-(2**31), max_value=2**31),
+    st.booleans(),
+    names,
+    times,
+)
+attr_dicts = st.dictionaries(names, attr_values, max_size=5)
+
+snapshot_events = st.builds(
+    MetricSnapshotEvent,
+    broker=names,
+    time=times,
+    counters=counter_dicts,
+    gauges=gauge_dicts,
+    histograms=histogram_dicts,
+)
+span_events = st.builds(
+    SpanEvent,
+    trace_id=names,
+    broker=names,
+    hop=st.sampled_from((HOP_DISPATCH, HOP_FORWARD, HOP_DELIVER)),
+    time=times,
+    peer=st.one_of(st.none(), names),
+    attrs=attr_dicts,
+)
+log_events = st.builds(
+    LogEvent,
+    broker=names,
+    time=times,
+    level=st.sampled_from(("debug", "info", "warn", "error")),
+    text=st.text(max_size=64),
+)
+events = st.one_of(snapshot_events, span_events, log_events)
+
+
+@settings(max_examples=150, deadline=None)
+@given(event=events)
+def test_event_wire_round_trip(event):
+    """Every telemetry event survives the message codec losslessly."""
+    encoded = encode_message(event)
+    decoded = decode_message(encoded)
+    assert type(decoded) is type(event)
+    assert decoded == event
+    # Canonical: re-encoding yields identical bytes.
+    assert encode_message(decoded) == encoded
+    # Framed form: same payload behind the 4-byte length prefix.
+    frame = encode_frame(event)
+    assert frame[4:] == encoded
+    assert int.from_bytes(frame[:4], "big") == len(encoded)
+
+
+def test_every_event_type_covered_by_strategy():
+    """EVENT_TYPES and the strategies above must stay in sync."""
+    assert set(EVENT_TYPES) == {MetricSnapshotEvent, SpanEvent, LogEvent}
+
+
+def test_event_ids_do_not_perturb_message_ids():
+    """Telemetry events draw ids from their own counter: creating them
+    must not advance the process-wide message id stream (otherwise
+    enabling telemetry would shift every real message id and break
+    byte-identical traces)."""
+    from repro.filters.filter import Filter
+    from repro.messages.admin import Subscribe
+
+    first = Subscribe(Filter({"a": 1}), subject="s")
+    SpanEvent("t#1", "B", HOP_DISPATCH, 0.0)
+    LogEvent("B", 0.0, "info", "x")
+    MetricSnapshotEvent("B", 0.0, {})
+    second = Subscribe(Filter({"a": 1}), subject="s")
+    assert second.message_id == first.message_id + 1
+
+
+def test_event_ids_are_sequential_and_resettable():
+    TelemetryEvent.reset_id_counter()
+    a = LogEvent("B", 0.0, "info", "x")
+    b = SpanEvent("t#1", "B", HOP_FORWARD, 0.0)
+    assert (a.message_id, b.message_id) == (1, 2)
+    TelemetryEvent.reset_id_counter()
+    assert LogEvent("B", 0.0, "info", "y").message_id == 1
