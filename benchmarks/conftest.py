@@ -4,21 +4,45 @@ Every benchmark records which runtime backend produced its numbers: the
 ``BENCH_*.json`` workload blocks carry a ``backend`` field that
 ``check_bench.py`` gates on exact equality, so a suite silently switched
 to another backend (whose wall-clock profile is incomparable) fails the
-regression gate instead of polluting the committed baselines.  The
-suites all drive :class:`~repro.broker.network.PubSubNetwork` with its
-default discrete-event runtime; virtual-time asyncio numbers are kept
-out of the committed files on purpose (the backend-parity CI gate covers
-behavioural equivalence, not timing).
+regression gate instead of polluting the committed baselines.
+
+The backend is selectable: ``pytest benchmarks/ --backend aio-memory``
+runs the backend-parameterised suites (currently the dispatch suite) on
+a virtual-time asyncio runtime instead of the discrete-event simulator.
+The **committed** BENCH files stay sim-only on purpose — the
+backend-parity CI gate covers behavioural equivalence, not timing — so
+``run_bench.py`` without ``--pytest-arg=--backend=...`` regenerates
+baselines on the default backend.
 """
 
 import pytest
 
-#: The runtime backend the benchmark suites run on (see module docstring).
+from repro.runtime.factory import BACKENDS
+
+#: The default runtime backend for benchmark runs (see module docstring).
 BENCH_BACKEND = "sim"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--backend",
+        action="store",
+        default=BENCH_BACKEND,
+        choices=list(BACKENDS),
+        help="runtime backend for backend-parameterised benchmarks "
+        "(committed baselines are produced on {!r})".format(BENCH_BACKEND),
+    )
+
+
+@pytest.fixture
+def bench_backend(request):
+    """The runtime backend selected with ``--backend`` (default sim)."""
+    return request.config.getoption("--backend")
 
 
 @pytest.fixture(autouse=True)
 def _record_backend(request):
-    """Stamp the backend into every benchmark's ``extra_info``."""
+    """Stamp the selected backend into every benchmark's ``extra_info``."""
     if "benchmark" in request.fixturenames:
-        request.getfixturevalue("benchmark").extra_info.setdefault("backend", BENCH_BACKEND)
+        backend = request.config.getoption("--backend")
+        request.getfixturevalue("benchmark").extra_info.setdefault("backend", backend)

@@ -40,7 +40,9 @@ from repro.core.location_filter import (
 from repro.broker.forwarding import NeighbourForwardingState
 from repro.core.logical import LogicalSubscriptionState
 from repro.dispatch.plan import DispatchPlan
+from repro.dispatch.stats import dispatch_stats
 from repro.core.physical import RelocationBuffer, RelocationRecord, VirtualCounterpart
+from repro.filters.attributes import canonical_key
 from repro.filters.covering import filter_covers, filters_overlap_hint
 from repro.filters.covering_cache import CoveringCache, get_covering_cache
 from repro.filters.filter import Filter, MatchNone
@@ -141,6 +143,22 @@ def _entry_sort_key(entry: Any) -> Tuple[str, int]:
     return (entry.destination, entry.seq)
 
 
+def _attribute_signature(attributes: Any) -> Optional[Tuple[Any, ...]]:
+    """Hashable identity of a notification's attribute values.
+
+    Two notifications with equal signatures match exactly the same
+    filters, so a batched run can share one dispatch pass between them.
+    Values the canonical key cannot represent (unhashable exotica) yield
+    ``None``: such messages are matched individually.
+    """
+    try:
+        return tuple(
+            sorted((name, canonical_key(value)) for name, value in attributes.items())
+        )
+    except TypeError:
+        return None
+
+
 @dataclass
 class BrokerConfig:
     """Tunable broker behaviour.
@@ -199,6 +217,18 @@ class BrokerConfig:
         are matched by the routing table's candidate engine and the gate
         scans linearly (the original behaviour, kept as the byte-identical
         oracle: same deliveries, same admin traffic, same RNG order).
+    vectorised_dispatch:
+        Selects the matcher inside the ``DispatchPlan`` (only meaningful
+        with ``indexed_dispatch`` on).  When ``True`` (the default), the
+        plan matches through the
+        :class:`~repro.dispatch.counting.BitsetMatcher`: predicate→filter
+        sets compiled into big-int bitmasks, per-filter counts kept in
+        bit-sliced planes, and near-universal ("hot") predicates lifted
+        out of the counting arity (see ``docs/performance.md``,
+        "Vectorised dispatch").  When ``False``, the scalar
+        :class:`~repro.dispatch.counting.CountingMatcher` runs instead.
+        All three dispatch modes — vectorised, counting, scan — produce
+        byte-identical deliveries and traces.
     forward_retention:
         When set to an integer ``W``, every broker→broker notification
         forward is wrapped in a :class:`~repro.messages.control.
@@ -219,6 +249,7 @@ class BrokerConfig:
     incremental_forwarding: bool = True
     delta_forwarding: bool = True
     indexed_dispatch: bool = True
+    vectorised_dispatch: bool = True
     forward_retention: Optional[int] = None
 
 
@@ -409,7 +440,11 @@ class Broker:
         # indexes, maintained from both tables' row-level deltas (see
         # repro.dispatch).  ``None`` selects the scan oracle.
         self._dispatch_plan: Optional[DispatchPlan] = (
-            DispatchPlan(self.subscription_table, self.advertisement_table)
+            DispatchPlan(
+                self.subscription_table,
+                self.advertisement_table,
+                vectorised=self.config.vectorised_dispatch,
+            )
             if self.config.indexed_dispatch
             else None
         )
@@ -479,6 +514,84 @@ class Broker:
             return
         self._journal(link.source, message)
         self._dispatch(message, from_destination=link.source)
+
+    def receive_batch(self, messages: Sequence[Message], link: Channel) -> None:
+        """Handle a run of messages delivered together by one link flush.
+
+        Behaviourally identical to calling :meth:`receive` once per
+        message in order — same deliveries, same forwards, same traces —
+        but runs of consecutive :class:`Notification`\\ s carrying the
+        same attribute signature share one matching pass: the dispatch
+        plan is probed once per distinct signature and the per-message
+        side effects (counters, spans, forwards, local delivery) replay
+        in arrival order.  The sim backend's batched links call this
+        instead of per-message ``receive`` (see
+        ``PubSubNetwork._connect``); everything else keeps the
+        one-message entry point.
+        """
+        run: List[Notification] = []
+        for message in messages:
+            if self._crashed:
+                self.counters["messages_dropped_down"] += 1
+                if self.trace is not None:
+                    self.trace.record_drop(
+                        self.clock.now, link.source, self.name, message, "broker-down"
+                    )
+                continue
+            if type(message) is Notification:
+                run.append(message)
+                continue
+            if run:
+                self._dispatch_notification_run(run, link.source)
+                run = []
+            self._journal(link.source, message)
+            self._dispatch(message, from_destination=link.source)
+        if run:
+            self._dispatch_notification_run(run, link.source)
+
+    @_attributed
+    def _dispatch_notification_run(
+        self, run: Sequence[Notification], from_destination: str
+    ) -> None:
+        """Process consecutive notifications, amortising repeated matches.
+
+        Notifications are journaled by nobody (:meth:`_journal` skips
+        them) and handled in arrival order; within the run, messages with
+        the same canonical attribute signature reuse the first message's
+        matched rows instead of re-probing the index.  Matching is a pure
+        function of the attributes, and the routing tables cannot change
+        between the messages of one run (only admin traffic moves them,
+        and admin messages split the run), so the reuse is exact.
+        """
+        plan = self._dispatch_plan
+        if len(run) == 1 or plan is None or not plan.vectorised:
+            # Nothing to amortise (the scan oracle derives its forwarding
+            # set separately, and the pure-counting mode stays a strict
+            # per-message oracle; both keep the single-message path).
+            for notification in run:
+                self.counters["notifications_received"] += 1
+                self._handle_notification(notification, from_destination)
+            return
+        matched_cache: Dict[Any, List[Any]] = {}
+        reused_signatures: Set[Any] = set()
+        for notification in run:
+            self.counters["notifications_received"] += 1
+            signature = _attribute_signature(notification.attributes)
+            if signature is None:
+                self._handle_notification(notification, from_destination)
+                continue
+            cached = matched_cache.get(signature)
+            if cached is None:
+                matched_cache[signature] = self._handle_notification(
+                    notification, from_destination
+                )
+            else:
+                if signature not in reused_signatures:
+                    reused_signatures.add(signature)
+                    dispatch_stats.current.batched_groups += 1
+                self._handle_notification(
+                    notification, from_destination, matched_entries=cached
+                )
 
     def _journal(self, origin: str, message: Message) -> None:
         """Append an admin/mobility message to the recovery log.
@@ -1037,15 +1150,30 @@ class Broker:
     # Notification handling
     # ------------------------------------------------------------------
     def _handle_notification(
-        self, notification: Notification, from_destination: Optional[str]
-    ) -> None:
+        self,
+        notification: Notification,
+        from_destination: Optional[str],
+        matched_entries: Optional[List[Any]] = None,
+    ) -> Optional[List[Any]]:
+        """Forward and deliver one notification; returns the matched rows.
+
+        *matched_entries* short-circuits the dispatch pass with rows a
+        batched run already matched for an identical attribute signature
+        (see :meth:`_dispatch_notification_run`); the forwarding set and
+        every side effect are still computed per message.
+        """
         attributes = notification.attributes
         plan = self._dispatch_plan
         if plan is not None:
             # One counting pass answers both questions: which neighbours
             # the notification must be forwarded to, and which local rows
             # it is delivered against.
-            matched_entries = plan.match(attributes)
+            if matched_entries is None:
+                increments_before = dispatch_stats.current.count_increments
+                matched_entries = plan.match(attributes)
+                count_increments = dispatch_stats.current.count_increments - increments_before
+            else:
+                count_increments = 0
             if self.strategy.floods_notifications:
                 forward_to = set(self._links)
             else:
@@ -1057,6 +1185,7 @@ class Broker:
         else:
             # Scan oracle: the routing table's candidate engine, queried
             # once for the forwarding set and once for the local rows.
+            count_increments = 0
             if self.strategy.floods_notifications:
                 forward_to = set(self._links)
             else:
@@ -1081,6 +1210,10 @@ class Broker:
                 },
             )
             self.metrics.observe("dispatch_fanout", len(forward_to))
+            # Per-notification counting cost, dispatch_fanout-style: how
+            # many per-filter counter bumps this match performed (0 on
+            # the vectorised path and on reused batched matches).
+            self.metrics.observe("dispatch_count_increments", count_increments)
         retention = self.config.forward_retention
         for neighbour in sorted(forward_to):
             self.counters["notifications_forwarded"] += 1
@@ -1093,6 +1226,7 @@ class Broker:
 
         # Local delivery (including buffering into counterparts).
         self._deliver_locally(notification, from_destination, matched_entries)
+        return matched_entries
 
     # ------------------------------------------------------------------
     # In-flight retention (config.forward_retention)

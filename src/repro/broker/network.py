@@ -151,6 +151,14 @@ class PubSubNetwork:
         right_broker = self.brokers[right]
         forward = self.runtime.connect(left, right, right_broker.receive)
         backward = self.runtime.connect(right, left, left_broker.receive)
+        # Sim links batch all messages due at one flush; hand the whole
+        # run to the broker so it can amortise dispatch work across
+        # notifications with identical attributes (the asyncio channels
+        # deliver strictly per message and have no such hook).
+        if hasattr(forward, "deliver_batch"):
+            forward.deliver_batch = right_broker.receive_batch
+        if hasattr(backward, "deliver_batch"):
+            backward.deliver_batch = left_broker.receive_batch
         left_broker.add_link(forward)
         right_broker.add_link(backward)
         self.links[(left, right)] = forward

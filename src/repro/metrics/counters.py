@@ -88,7 +88,7 @@ def reset_data_plane_stats() -> None:
     merge_stats.reset()
 
 
-def data_plane_breakdown(brokers: Iterable[Any] = ()) -> Dict[str, int]:
+def data_plane_breakdown(brokers: Iterable[Any] = ()) -> Dict[str, float]:
     """Counters describing per-message *data-plane* work.
 
     The control-plane benchmarks gate covering-call and admin-message
@@ -101,26 +101,37 @@ def data_plane_breakdown(brokers: Iterable[Any] = ()) -> Dict[str, int]:
       :mod:`repro.filters.stats`);
     * ``filter_matches`` — whole-filter evaluations (the scan path's unit
       of work);
-    * ``dispatch_*`` — the counting engine's own accounting (passes,
-      satisfied predicates, count increments, residual evaluations,
-      filters matched; see :mod:`repro.dispatch.stats`);
+    * ``dispatch_*`` — the counting/bitset engines' own accounting
+      (passes, satisfied predicates, count increments, mask operations,
+      shared-predicate skips, residual evaluations, filters matched; see
+      :mod:`repro.dispatch.stats`);
+    * ``notifications_delivered`` and
+      ``dispatch_count_increments_per_delivery`` — the per-delivered-
+      notification view of the counting cost (summed over *brokers*);
+      the raw total alone hid how the cost scaled with fan-out;
     * ``advert_gate_hits`` / ``advert_gate_misses`` — per-broker
       ``_advertised_via_cache`` memo accounting, summed over *brokers*.
     """
-    out: Dict[str, int] = dict(matching_stats.snapshot())
+    out: Dict[str, float] = dict(matching_stats.snapshot())
     for name, value in dispatch_stats.snapshot().items():
         out["dispatch_" + name] = value
     gate_hits = 0
     gate_misses = 0
     gate_cached_verdicts = 0
+    delivered = 0
     for broker in brokers:
         gate_hits += broker.counters.get("advert_gate_hits", 0)
         gate_misses += broker.counters.get("advert_gate_misses", 0)
+        delivered += broker.counters.get("notifications_delivered", 0)
         for _, verdicts in broker._advertised_via_cache.values():
             gate_cached_verdicts += len(verdicts)
     out["advert_gate_hits"] = gate_hits
     out["advert_gate_misses"] = gate_misses
     out["advert_gate_cached_verdicts"] = gate_cached_verdicts
+    out["notifications_delivered"] = delivered
+    out["dispatch_count_increments_per_delivery"] = (
+        round(out["dispatch_count_increments"] / delivered, 3) if delivered else 0.0
+    )
     return out
 
 

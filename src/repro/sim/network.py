@@ -15,7 +15,7 @@ to be at least the delivery time of the link's previous message.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Optional, Tuple
+from typing import Callable, Deque, List, Optional, Tuple
 
 from repro.messages.base import Message
 from repro.runtime.faults import FaultModel
@@ -85,6 +85,12 @@ class Link:
         # each send.  Wired by the network only when telemetry is
         # enabled, so the off path costs one ``is not None`` check.
         self.depth_probe: Optional[Callable[[int], None]] = None
+        # Batch-delivery hook: when set, a flush hands the whole due run
+        # to this callable (``deliver_batch(messages, link)``) instead of
+        # invoking *deliver* once per message, letting the receiver
+        # amortise repeated dispatch work across the run (see
+        # ``Broker.receive_batch``).  ``None`` keeps per-message delivery.
+        self.deliver_batch: Optional[Callable[[List[Message], "Link"], None]] = None
 
     @property
     def name(self) -> str:
@@ -150,10 +156,19 @@ class Link:
         self.flush_count += 1
         now = self.simulator.now
         pending = self._pending
+        # Collect the due run first: delivery callbacks only ever send on
+        # *other* links (a broker never sends on its own incoming link),
+        # so the queue cannot grow mid-run and the split is safe.
+        due: List[Message] = []
         while pending and pending[0][0] <= now:
-            _, message = pending.popleft()
-            self.delivered_count += 1
-            self._deliver(message, self)
+            due.append(pending.popleft()[1])
+        self.delivered_count += len(due)
+        deliver_batch = self.deliver_batch
+        if deliver_batch is not None and len(due) > 1:
+            deliver_batch(due, self)
+        else:
+            for message in due:
+                self._deliver(message, self)
         if pending:
             self.simulator.schedule_at(
                 pending[0][0], self._on_flush, label="flush {}".format(self.name)

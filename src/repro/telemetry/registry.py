@@ -192,7 +192,9 @@ class MetricRegistry:
         merge_stats.unregister(self.merging)
 
 
-def scoped_data_plane_breakdown(registries: Sequence[Optional[MetricRegistry]]) -> Dict[str, int]:
+def scoped_data_plane_breakdown(
+    registries: Sequence[Optional[MetricRegistry]],
+) -> Dict[str, float]:
     """Matching/dispatch breakdown summed over *registries* only.
 
     Same keys as the matching/dispatch part of
@@ -203,6 +205,7 @@ def scoped_data_plane_breakdown(registries: Sequence[Optional[MetricRegistry]]) 
     matching = MatchingStats()
     dispatch = DispatchStats()
     merge_calls = 0
+    delivered = 0
     for registry in registries:
         if registry is None:
             continue
@@ -211,8 +214,13 @@ def scoped_data_plane_breakdown(registries: Sequence[Optional[MetricRegistry]]) 
         for field in DispatchStats.__slots__[:-1]:
             setattr(dispatch, field, getattr(dispatch, field) + getattr(registry.dispatch, field))
         merge_calls += registry.merging.try_merge_calls
-    out: Dict[str, int] = dict(matching.snapshot())
+        delivered += registry.counters.get("notifications_delivered", 0)
+    out: Dict[str, float] = dict(matching.snapshot())
     for name, value in dispatch.snapshot().items():
         out["dispatch_" + name] = value
     out["merge_try_merge_calls"] = merge_calls
+    out["notifications_delivered"] = delivered
+    out["dispatch_count_increments_per_delivery"] = (
+        round(dispatch.count_increments / delivered, 3) if delivered else 0.0
+    )
     return out

@@ -1,11 +1,13 @@
-"""Dispatch-mode equivalence: indexed vs scan vs indexed-with-rebuild.
+"""Dispatch-mode equivalence: vectorised vs counting vs scan vs rebuild.
 
-The counting dispatch plan (``BrokerConfig.indexed_dispatch``) must be a
-pure data-plane optimisation: on identical workloads, every mode must
-produce byte-identical deliveries, admin traffic, routing tables and
-forwarded sets.  The third mode invalidates every broker's plan after
-each settle so the lazy rebuild path is exercised as heavily as the
-incremental delta maintenance.
+The dispatch plan (``BrokerConfig.indexed_dispatch`` selecting the
+predicate index, ``BrokerConfig.vectorised_dispatch`` selecting the
+bitset matcher over the pure-counting one) must be a pure data-plane
+optimisation: on identical workloads, every mode must produce
+byte-identical deliveries, admin traffic, routing tables and forwarded
+sets.  The ``rebuild`` mode invalidates every broker's (vectorised)
+plan after each settle so the lazy rebuild path is exercised as heavily
+as the incremental delta maintenance.
 """
 
 import pytest
@@ -22,11 +24,13 @@ from repro.topology.builders import balanced_tree_topology
 
 LOCATIONS = ["loc-{:02d}".format(index) for index in range(12)]
 
-MODES = ("indexed", "scan", "rebuild")
+MODES = ("vectorised", "counting", "scan", "rebuild")
 
 
 def _mode_config(mode):
-    return BrokerConfig(indexed_dispatch=(mode != "scan"))
+    if mode == "scan":
+        return BrokerConfig(indexed_dispatch=False)
+    return BrokerConfig(vectorised_dispatch=(mode != "counting"))
 
 
 def _invalidate_plans(network):
@@ -128,13 +132,11 @@ def _run_churn(mode, seed, strategy="covering"):
 
 @pytest.mark.parametrize("strategy", ["covering", "merging", "flooding"])
 @pytest.mark.parametrize("seed", [3, 19])
-def test_three_mode_churn_equivalence(strategy, seed):
-    """Indexed, scan and indexed-with-rebuild agree on everything observable."""
-    indexed = _run_churn("indexed", seed, strategy)
+def test_four_mode_churn_equivalence(strategy, seed):
+    """Vectorised, counting, scan and rebuild agree on everything observable."""
     scan = _run_churn("scan", seed, strategy)
-    rebuild = _run_churn("rebuild", seed, strategy)
-    assert indexed == scan
-    assert rebuild == scan
+    for mode in ("vectorised", "counting", "rebuild"):
+        assert _run_churn(mode, seed, strategy) == scan
 
 
 def test_indexed_dispatch_skips_table_matching():
